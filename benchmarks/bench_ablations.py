@@ -1,0 +1,74 @@
+"""Design-choice ablations beyond the paper's own (DESIGN.md section 6).
+
+Sweeps the CMD moment order, the contrastive temperature, and the number
+of Monte-Carlo samples, recording average test R^2 for each setting.
+These are accuracy studies wrapped as one-shot benches; rendered tables
+land in ``benchmarks/results/``.
+"""
+
+import numpy as np
+
+from repro.model import TimingPredictor
+from repro.train import OursTrainer, TrainConfig, r2_score
+
+from .conftest import bench_seed, record
+
+#: Shorter than the headline config: sweeps multiply training runs.
+SWEEP_STEPS = 60
+
+
+def _train_and_score(dataset, config_kwargs, model_kwargs=None):
+    model_kwargs = model_kwargs or {}
+    model = TimingPredictor(dataset.in_features, seed=bench_seed(),
+                            **model_kwargs)
+    cfg = TrainConfig(steps=SWEEP_STEPS, lr=2e-3, seed=bench_seed(),
+                      gamma1=1.0, gamma2=30.0, **config_kwargs)
+    OursTrainer(model, dataset.train, cfg).fit()
+    scores = [r2_score(d.labels, model.predict(d)) for d in dataset.test]
+    return float(np.mean(scores))
+
+
+def test_cmd_order_sweep(benchmark, dataset, results_dir):
+    """Effect of the CMD maximum moment order (paper uses 5)."""
+
+    def sweep():
+        return {order: _train_and_score(dataset, {"cmd_order": order})
+                for order in (1, 3, 5)}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "CMD order sweep (avg test R^2):\n" + "\n".join(
+        f"  order {k}: {v:.3f}" for k, v in result.items()
+    )
+    record(results_dir, "ablation_cmd_order", text)
+    assert set(result) == {1, 3, 5}
+
+
+def test_contrastive_temperature_sweep(benchmark, dataset, results_dir):
+    """Effect of the contrastive temperature tau."""
+
+    def sweep():
+        return {tau: _train_and_score(dataset, {"temperature": tau})
+                for tau in (0.1, 0.5, 2.0)}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "Contrastive temperature sweep (avg test R^2):\n" + "\n".join(
+        f"  tau {k}: {v:.3f}" for k, v in result.items()
+    )
+    record(results_dir, "ablation_temperature", text)
+    assert len(result) == 3
+
+
+def test_mc_samples_sweep(benchmark, dataset, results_dir):
+    """Effect of the number of Monte-Carlo samples K in the ELBO."""
+
+    def sweep():
+        return {k: _train_and_score(dataset, {},
+                                    model_kwargs={"mc_samples": k})
+                for k in (1, 4, 8)}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "MC samples sweep (avg test R^2):\n" + "\n".join(
+        f"  K={k}: {v:.3f}" for k, v in result.items()
+    )
+    record(results_dir, "ablation_mc_samples", text)
+    assert len(result) == 3

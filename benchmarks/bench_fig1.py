@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 1 (scatter, AdvOnly vs transfer).
+
+Shape target: the transfer panel's pooled R^2 beats the AdvOnly panel's
+(the paper's motivating figure).
+"""
+
+from repro.experiments import format_fig1, run_fig1
+
+from .conftest import bench_seed, bench_steps, record
+
+
+def test_fig1(benchmark, dataset, results_dir):
+    panels = benchmark.pedantic(
+        run_fig1,
+        kwargs={"dataset": dataset, "seed": bench_seed(),
+                "steps": bench_steps()},
+        rounds=1, iterations=1,
+    )
+    text = format_fig1(panels)
+    record(results_dir, "fig1", text)
+
+    adv = panels["(a) 7nm only"]
+    ours = panels["(b) 7nm + 130nm transfer"]
+    assert len(adv["truth"]) == len(adv["pred"])
+    assert ours["r2"] > adv["r2"]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 8 (module ablation).
+
+Shape target: the full model beats both single-module variants on
+average (each module contributes), as in the paper's ablation.
+"""
+
+from repro.experiments import format_fig8, run_fig8
+
+from .conftest import bench_seed, bench_steps, record
+
+
+def test_fig8(benchmark, dataset, results_dir):
+    rows = benchmark.pedantic(
+        run_fig8,
+        kwargs={"dataset": dataset, "seed": bench_seed(),
+                "steps": bench_steps()},
+        rounds=1, iterations=1,
+    )
+    text = format_fig8(rows)
+    record(results_dir, "fig8", text)
+
+    by_variant = {row["variant"]: row["average"] for row in rows}
+    assert set(by_variant) == {"DA only", "Bayesian only", "Full"}
+    # The full model is the best variant on average.
+    assert by_variant["Full"] >= max(by_variant["DA only"],
+                                     by_variant["Bayesian only"]) - 0.05

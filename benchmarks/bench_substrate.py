@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the EDA substrate and model forward passes.
+
+These are classic pytest-benchmark timing benches (auto-calibrated
+rounds): STA throughput, placement, routing, GNN/CNN forwards.  They
+back the runtime column of Table 2 and document where the flow spends
+its time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import GateVocabulary, encode_netlist
+from repro.model import TimingPredictor
+from repro.netlist import make_design, map_design
+from repro.place import QuadraticPlacer, make_floorplan, place_design
+from repro.route import GlobalRouter, PreRouteEstimator, route_design
+from repro.sta import run_sta
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def placed_arm9():
+    lib = make_asap7_library()
+    nl = map_design(make_design("arm9"), lib)
+    fp = place_design(nl, seed=0)
+    return nl, fp
+
+
+def test_sta_preroute_throughput(benchmark, placed_arm9):
+    nl, _ = placed_arm9
+    report = benchmark(lambda: run_sta(nl, PreRouteEstimator(nl)))
+    assert report.endpoint_arrivals
+
+
+def test_sta_signoff_throughput(benchmark, placed_arm9):
+    nl, fp = placed_arm9
+    parasitics = route_design(nl, fp, seed=0)
+    report = benchmark(lambda: run_sta(nl, parasitics))
+    assert report.endpoint_arrivals
+
+
+def test_placement_runtime(benchmark):
+    lib = make_asap7_library()
+    nl = map_design(make_design("arm9"), lib)
+    fp = make_floorplan(nl)
+
+    def place():
+        QuadraticPlacer(nl, fp, seed=0).run()
+
+    benchmark(place)
+
+
+def test_routing_runtime(benchmark, placed_arm9):
+    nl, fp = placed_arm9
+
+    def route():
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        return router
+
+    router = benchmark(route)
+    assert router.trees
+
+
+def test_mapping_runtime(benchmark):
+    lib = make_sky130_library()
+    graph = make_design("arm9")
+    nl = benchmark(lambda: map_design(graph, lib))
+    assert len(nl.cells) > 0
+
+
+def test_model_inference_runtime(benchmark, placed_arm9):
+    """The Table-2 runtime column: full model forward on one design."""
+    from repro.experiments import build_dataset
+
+    dataset = build_dataset()
+    model = TimingPredictor(dataset.in_features, seed=0)
+    model.finalize_node_priors(dataset.train)
+    design = dataset.test[0]
+    pred = benchmark(lambda: model.predict(design))
+    assert pred.shape == (design.num_endpoints,)
+
+
+def test_gnn_forward_runtime(benchmark, placed_arm9):
+    nl, _ = placed_arm9
+    vocab = GateVocabulary([make_sky130_library(), make_asap7_library()])
+    graph = encode_netlist(nl, vocab)
+    from repro.model import TimingGNN
+
+    gnn = TimingGNN(graph.features.shape[1], 32, 24,
+                    np.random.default_rng(0))
+    out = benchmark(lambda: gnn(graph))
+    assert out.shape[0] == len(graph.endpoint_rows)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+Measures the statistics pass itself; the rendered table is written to
+``benchmarks/results/table1.txt``.
+"""
+
+from repro.experiments import format_table1, run_table1
+
+from .conftest import record
+
+
+def test_table1(benchmark, dataset, results_dir):
+    rows = benchmark(run_table1, dataset)
+    text = format_table1(rows)
+    record(results_dir, "table1", text)
+
+    # Shape assertions mirroring the paper's Table 1.
+    by_name = {r["benchmark"]: r for r in rows}
+    assert by_name["smallboom"]["tech node"] == "7nm"
+    assert by_name["jpeg"]["tech node"] == "130nm"
+    train_130 = [r for r in rows if r["split"] == "train"
+                 and r["tech node"] == "130nm"]
+    assert len(train_130) == 4
+    # jpeg is the largest training design; or1200 is endpoint-heaviest.
+    assert by_name["jpeg"]["#pin"] == max(r["#pin"] for r in train_130)
+    test_rows = [r for r in rows if r["split"] == "test"
+                 and not str(r["benchmark"]).startswith("Avg")]
+    assert by_name["or1200"]["#edp"] == max(r["#edp"] for r in test_rows)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 3 (number of 130nm designs ablation).
+
+Trains the paper's model with the four nested 130nm subsets (J, JL,
+JLS, JLSU) and records per-design R^2 on the 7nm test set.  Shape
+target: more 130nm data helps — the full set beats the jpeg-only row.
+"""
+
+from repro.experiments import format_table3, run_table3
+
+from .conftest import bench_seed, bench_steps, record
+
+
+def test_table3(benchmark, dataset, results_dir):
+    rows = benchmark.pedantic(
+        run_table3,
+        kwargs={"dataset": dataset, "seed": bench_seed(),
+                "steps": bench_steps()},
+        rounds=1, iterations=1,
+    )
+    text = format_table3(rows)
+    record(results_dir, "table3", text)
+
+    assert len(rows) == 4
+    averages = [row["average"] for row in rows]
+    # Paper shape: the full 130nm set is the best of the four rows, and
+    # clearly better than the single-design row.
+    assert averages[-1] == max(averages)
+    assert averages[-1] > averages[0]

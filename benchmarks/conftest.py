@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment dataset is built once per session (and cached on disk by
+``repro.experiments.datasets``), so individual benches measure their own
+work, not dataset construction.
+
+Environment knobs:
+
+- ``REPRO_BENCH_STEPS`` — training steps for the learning benches
+  (default 150, matching the headline configuration).
+- ``REPRO_BENCH_SEED`` — seed for every learning bench (default 0).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_dataset
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_steps() -> int:
+    return int(os.environ.get("REPRO_BENCH_STEPS", "150"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print(f"\n{text}")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

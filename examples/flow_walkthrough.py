@@ -1,0 +1,89 @@
+"""Walk one design through the entire synthetic implementation flow.
+
+Shows every stage a real chip goes through in the paper's data-generation
+pipeline — logic generation, technology mapping (on BOTH nodes, to show
+the node-dependence), placement, timing optimization, routing, and
+signoff STA — printing the intermediate state after each stage.
+
+Run:
+    python examples/flow_walkthrough.py [design]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.netlist import DESIGN_GENERATORS, make_design, map_design
+from repro.opt import optimize_design
+from repro.place import place_design, total_hpwl
+from repro.route import GlobalRouter, PreRouteEstimator, RoutedParasitics
+from repro.sta import derive_constraints, run_sta
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+def main(design_name: str = "arm9") -> None:
+    print(f"=== {design_name}: from RTL-level logic to signoff ===\n")
+
+    # --- Logic synthesis front-end: a technology-independent graph. ---
+    graph = make_design(design_name)
+    stats = graph.stats()
+    print(f"[logic]      {stats['gates']} generic gates, "
+          f"{stats['registers']} registers, depth {stats['depth']}")
+
+    # --- Technology mapping onto both nodes (Genus stand-in). ---
+    sky, asap = make_sky130_library(), make_asap7_library()
+    nl130 = map_design(graph, sky)
+    nl7 = map_design(graph, asap)
+    print(f"[map 130nm]  {len(nl130.cells)} cells, "
+          f"area {nl130.total_cell_area():.0f} um^2")
+    print(f"[map   7nm]  {len(nl7.cells)} cells, "
+          f"area {nl7.total_cell_area():.2f} um^2  "
+          f"(same function, different structure)")
+
+    # Continue at 7nm, like the paper's target node.
+    netlist = nl7
+
+    # --- Placement. ---
+    floorplan = place_design(netlist, seed=1)
+    print(f"[place]      die {floorplan.width:.1f} x "
+          f"{floorplan.height:.1f} um, {floorplan.num_rows} rows, "
+          f"HPWL {total_hpwl(netlist):.0f} um, "
+          f"{len(floorplan.macros)} macro blockages")
+
+    # --- Pre-route STA (what the predictor's world looks like). ---
+    clock = derive_constraints(netlist)
+    pre = run_sta(netlist, PreRouteEstimator(netlist), clock)
+    print(f"[pre-route]  clock {clock.period:.3f} ns, "
+          f"WNS {pre.wns:+.3f} ns, "
+          f"worst endpoint AT {max(pre.endpoint_arrivals.values()):.3f} ns")
+
+    # --- Timing optimization (netlist restructuring). ---
+    result = optimize_design(netlist, floorplan, clock)
+    print(f"[optimize]   {result.cells_upsized} cells upsized, "
+          f"{result.buffers_inserted} buffers inserted, "
+          f"WNS {result.wns_before:+.3f} -> {result.wns_after:+.3f} ns")
+
+    # --- Routing (with congestion-driven detours). ---
+    router = GlobalRouter(netlist, floorplan, seed=1)
+    router.run()
+    routed_len = sum(router.routed_length.values())
+    print(f"[route]      total wirelength {routed_len:.0f} um, "
+          f"peak congestion {router.grid.max_utilization:.2f}")
+
+    # --- Signoff STA on routed parasitics: the labels. ---
+    signoff = run_sta(netlist, RoutedParasitics(router), clock)
+    ats = np.array(list(signoff.endpoint_arrivals.values()))
+    print(f"[signoff]    WNS {signoff.wns:+.3f} ns, "
+          f"endpoint AT mean {ats.mean():.3f} / max {ats.max():.3f} ns")
+    print("\nmost critical endpoints:")
+    for name, at in signoff.critical_endpoints(5):
+        print(f"  {name:>16}: {at:.3f} ns "
+              f"(slack {signoff.clock.period - at:+.3f})")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "arm9"
+    if name not in DESIGN_GENERATORS:
+        raise SystemExit(f"unknown design {name!r}; "
+                         f"choose from {sorted(DESIGN_GENERATORS)}")
+    main(name)

@@ -1,0 +1,66 @@
+"""Quickstart: predict post-routing arrival times before routing exists.
+
+Builds a small two-design dataset through the synthetic PnR flow, trains
+the paper's transfer-learning timing predictor for a few steps, and
+compares its predictions on held-out endpoints against the signoff STA
+ground truth.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.features import GateVocabulary, normalize_features
+from repro.flow import run_flow
+from repro.model import TimingPredictor
+from repro.techlib import make_asap7_library, make_sky130_library
+from repro.train import OursTrainer, TrainConfig, r2_score
+
+
+def main() -> None:
+    # 1. Two synthetic technology nodes (the PDK substitute).
+    libraries = {"130nm": make_sky130_library(),
+                 "7nm": make_asap7_library()}
+    vocab = GateVocabulary(list(libraries.values()))
+    print(f"libraries: {libraries['130nm']} / {libraries['7nm']}")
+
+    # 2. Run designs through synthesis -> place -> optimize -> route ->
+    #    signoff STA.  The model sees the pre-route snapshot; labels are
+    #    signoff arrival times.
+    print("running the PnR flow (this builds the dataset) ...")
+    train = [
+        run_flow("smallboom", "7nm", libraries, vocab=vocab),
+        run_flow("jpeg", "130nm", libraries, vocab=vocab),
+        run_flow("linkruncca", "130nm", libraries, vocab=vocab),
+    ]
+    test = run_flow("chacha", "7nm", libraries, vocab=vocab)
+    normalize_features([d.graph for d in train + [test]])
+    for d in train:
+        print(f"  {d.name:>10} @{d.node}: {d.num_endpoints} endpoints, "
+              f"mean signoff AT {d.labels.mean():.3f} ns")
+
+    # 3. Train the disentangle-align-generalize model.
+    print("training the timing predictor ...")
+    model = TimingPredictor(train[0].graph.features.shape[1], seed=0)
+    trainer = OursTrainer(model, train, TrainConfig(steps=150, seed=0))
+    history = trainer.fit()
+    # The first 30% of steps are regression-only warmup; compare within
+    # the full-objective regime.
+    start = int(0.3 * len(history))
+    print(f"  loss {history[start]['total']:.2f} -> "
+          f"{history[-1]['total']:.2f}")
+
+    # 4. Predict on an unseen 7nm design.
+    pred = model.predict(test)
+    print(f"test design {test.name}: R^2 = "
+          f"{r2_score(test.labels, pred):.3f}")
+    worst = np.argsort(-test.labels)[:5]
+    print("  five most critical endpoints (truth vs predicted, ns):")
+    for k in worst:
+        name = test.graph.endpoint_names[k]
+        print(f"    {name:>14}: {test.labels[k]:.3f} vs {pred[k]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""The paper's headline experiment, in miniature: why transfer?
+
+Trains the previous-SOTA model on limited 7nm data only (DAC23-AdvOnly)
+and the paper's disentangle-align-generalize model on 7nm + 130nm data,
+then compares their accuracy on unseen 7nm designs — the Figure 1
+story.  Uses the cached full dataset, so the first run is the slowest.
+
+Run:
+    python examples/transfer_learning.py [--steps N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import build_dataset
+from repro.model import TimingPredictor
+from repro.train import (
+    OursTrainer,
+    TrainConfig,
+    r2_score,
+    train_adv_only,
+)
+
+
+def main(steps: int = 120) -> None:
+    dataset = build_dataset()
+    print(f"train: {[d.name + '@' + d.node for d in dataset.train]}")
+    print(f"test:  {[d.name for d in dataset.test]} (all 7nm)\n")
+
+    print(f"training DAC23-AdvOnly (7nm data only, {steps} steps) ...")
+    adv = train_adv_only(dataset.train, dataset.in_features,
+                         TrainConfig(steps=steps, lr=2e-3, seed=0))
+
+    print(f"training Ours (7nm + 130nm transfer, {steps} steps) ...")
+    ours = TimingPredictor(dataset.in_features, seed=0)
+    OursTrainer(ours, dataset.train,
+                TrainConfig(steps=steps, lr=2e-3, seed=0,
+                            gamma1=1.0, gamma2=30.0)).fit()
+
+    print(f"\n{'design':>10} | {'AdvOnly R^2':>12} | {'Ours R^2':>10}")
+    print("-" * 40)
+    adv_scores, ours_scores = [], []
+    for design in dataset.test:
+        a = r2_score(design.labels, adv.predict(design))
+        o = r2_score(design.labels, ours.predict(design))
+        adv_scores.append(a)
+        ours_scores.append(o)
+        print(f"{design.name:>10} | {a:>12.3f} | {o:>10.3f}")
+    print("-" * 40)
+    print(f"{'average':>10} | {np.mean(adv_scores):>12.3f} | "
+          f"{np.mean(ours_scores):>10.3f}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--steps", type=int, default=120)
+    main(parser.parse_args().steps)

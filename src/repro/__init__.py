@@ -1,0 +1,23 @@
+"""Reproduction of "Disentangle, Align and Generalize: Learning A Timing
+Predictor from Different Technology Nodes" (DAC 2024).
+
+Package map
+-----------
+- :mod:`repro.nn` -- numpy autograd + layers (PyTorch substitute)
+- :mod:`repro.techlib` -- synthetic 130nm / 7nm standard-cell libraries
+- :mod:`repro.netlist` -- logic graphs, benchmarks, gate-level netlists,
+  technology mapping
+- :mod:`repro.place` / :mod:`repro.route` / :mod:`repro.sta` /
+  :mod:`repro.opt` -- the physical-design flow producing the dataset
+- :mod:`repro.features` -- layout images, fanin cones, pin-graph encoding
+- :mod:`repro.flow` -- end-to-end data generation (Table 1)
+- :mod:`repro.model` -- the paper's model (GNN+CNN extractor,
+  disentanglement, alignment losses, Bayesian readout) and the DAC23
+  baseline
+- :mod:`repro.train` -- trainers, baseline strategies, metrics
+- :mod:`repro.experiments` -- drivers for every table and figure
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

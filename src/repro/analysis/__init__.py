@@ -1,0 +1,34 @@
+"""Design and prediction analysis: summaries, histograms, diagnostics."""
+
+from .accuracy import (
+    AccuracyProfile,
+    accuracy_profile,
+    compare_models,
+    elmore_baseline_profile,
+    top_k_overlap,
+)
+from .power import PowerReport, estimate_power
+from .reports import (
+    DesignSummary,
+    congestion_summary,
+    design_summary,
+    full_report,
+    slack_histogram,
+    timing_summary,
+)
+
+__all__ = [
+    "AccuracyProfile",
+    "DesignSummary",
+    "PowerReport",
+    "estimate_power",
+    "accuracy_profile",
+    "compare_models",
+    "congestion_summary",
+    "design_summary",
+    "elmore_baseline_profile",
+    "full_report",
+    "slack_histogram",
+    "timing_summary",
+    "top_k_overlap",
+]

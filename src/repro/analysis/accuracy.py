@@ -1,0 +1,100 @@
+"""Prediction-accuracy analysis beyond scalar R^2.
+
+Tools for dissecting *where* a timing predictor errs: per-depth error
+profiles, critical-endpoint ranking quality (does the model find the
+same worst paths signoff does?), and pessimism/optimism balance.  These
+matter to a user more than aggregate R^2: a pre-route predictor's job is
+to point optimization at the right endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..flow import DesignData
+
+
+@dataclass
+class AccuracyProfile:
+    """Error diagnostics of one model on one design."""
+
+    design: str
+    r2: float
+    mae: float
+    optimism_rate: float
+    top_k_overlap: Dict[int, float]
+    rank_correlation: float
+
+    def format(self) -> str:
+        overlaps = ", ".join(f"top{k}: {v:.0%}"
+                             for k, v in self.top_k_overlap.items())
+        return (f"{self.design}: R^2={self.r2:.3f} MAE={self.mae:.4f}ns "
+                f"optimistic on {self.optimism_rate:.0%} of endpoints, "
+                f"rank-corr={self.rank_correlation:.3f} ({overlaps})")
+
+
+def _rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation without scipy.stats tie-handling."""
+    ar = np.argsort(np.argsort(a)).astype(float)
+    br = np.argsort(np.argsort(b)).astype(float)
+    if ar.std() < 1e-12 or br.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(ar, br)[0, 1])
+
+
+def top_k_overlap(truth: np.ndarray, pred: np.ndarray, k: int) -> float:
+    """Fraction of the true k most-critical endpoints the model finds."""
+    k = min(k, len(truth))
+    if k == 0:
+        return 0.0
+    true_top = set(np.argsort(-truth)[:k].tolist())
+    pred_top = set(np.argsort(-pred)[:k].tolist())
+    return len(true_top & pred_top) / k
+
+
+def accuracy_profile(design: DesignData,
+                     predict: Callable[[DesignData], np.ndarray],
+                     ks: Sequence[int] = (5, 10)) -> AccuracyProfile:
+    """Full accuracy diagnostics of ``predict`` on ``design``."""
+    from ..train.metrics import mae as mae_fn
+    from ..train.metrics import r2_score
+
+    pred = predict(design)
+    truth = design.labels
+    return AccuracyProfile(
+        design=design.name,
+        r2=r2_score(truth, pred),
+        mae=mae_fn(truth, pred),
+        optimism_rate=float((pred < truth).mean()),
+        top_k_overlap={k: top_k_overlap(truth, pred, k) for k in ks},
+        rank_correlation=_rank_correlation(truth, pred),
+    )
+
+
+def compare_models(designs: Sequence[DesignData],
+                   predictors: Dict[str, Callable[[DesignData],
+                                                  np.ndarray]],
+                   ks: Sequence[int] = (5, 10)) -> str:
+    """Render accuracy profiles of several models side by side."""
+    lines = []
+    for name, predict in predictors.items():
+        lines.append(f"== {name} ==")
+        for design in designs:
+            lines.append("  " + accuracy_profile(design, predict,
+                                                 ks).format())
+    return "\n".join(lines)
+
+
+def elmore_baseline_profile(design: DesignData,
+                            ks: Sequence[int] = (5, 10)
+                            ) -> AccuracyProfile:
+    """Profile of the traditional pre-route linear-RC STA estimate.
+
+    The paper's introduction motivates ML prediction by the inaccuracy of
+    Elmore-style pre-route analysis; this measures that baseline on our
+    substrate using the flow's stored ``pre_route_at``.
+    """
+    return accuracy_profile(design, lambda d: d.pre_route_at, ks)

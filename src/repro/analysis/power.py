@@ -1,0 +1,138 @@
+"""Static and dynamic power estimation.
+
+Leakage comes straight from the library's per-cell leakage numbers;
+dynamic power uses the standard ``P = a * C * V^2 * f`` model with
+switching activities propagated structurally (primary inputs toggle at a
+given rate; each gate's output activity is a damped function of its
+input activities — a cheap stand-in for full activity propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..netlist import Netlist
+from ..route.estimator import ParasiticsProvider
+
+#: Nominal supply voltage per node family (V) — synthetic but ordered
+#: correctly: older nodes run hotter and higher-voltage.
+SUPPLY_BY_NODE = {130.0: 1.2, 7.0: 0.7}
+
+#: How strongly a gate attenuates switching activity (0 = blocks all,
+#: 1 = passes all).  Real activity depends on the boolean function; a
+#: single damping constant is the classic quick estimate.
+ACTIVITY_DAMPING = 0.8
+
+
+@dataclass
+class PowerReport:
+    """Per-design power breakdown (arbitrary-but-consistent units)."""
+
+    leakage: float
+    dynamic: float
+    clock_tree: float
+    by_function: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return self.leakage + self.dynamic + self.clock_tree
+
+    def format(self) -> str:
+        lines = [
+            f"total power: {self.total:.4g} "
+            f"(leakage {self.leakage:.4g}, dynamic {self.dynamic:.4g}, "
+            f"clock {self.clock_tree:.4g})",
+            "by function:",
+        ]
+        for fn, value in sorted(self.by_function.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {fn:>8}: {value:.4g}")
+        return "\n".join(lines)
+
+
+def estimate_power(netlist: Netlist, parasitics: ParasiticsProvider,
+                   clock_period: Optional[float] = None,
+                   input_activity: float = 0.2) -> PowerReport:
+    """Estimate leakage + dynamic power of a placed design.
+
+    Parameters
+    ----------
+    netlist:
+        Placed design (parasitics need pin locations).
+    parasitics:
+        Interconnect model supplying per-net capacitance.
+    clock_period:
+        Clock period in ns; defaults to the library's default.
+    input_activity:
+        Toggle probability per cycle at primary inputs.
+    """
+    lib = netlist.library
+    period = clock_period or lib.default_clock_period
+    freq = 1.0 / period  # GHz when period is in ns
+    vdd = SUPPLY_BY_NODE.get(lib.node_nm, 1.0)
+
+    # Structural activity propagation in topological order of nets.
+    activity: Dict[str, float] = {}
+    for pin in netlist.primary_inputs:
+        if pin.net is not None:
+            activity[pin.net.name] = input_activity
+    for cell in netlist.sequential_cells:
+        if cell.output_pin.net is not None:
+            activity[cell.output_pin.net.name] = 0.5 * input_activity
+
+    from collections import deque
+
+    dependents: Dict[str, list] = {}
+    indegree: Dict[str, int] = {}
+    for cell in netlist.combinational_cells:
+        count = 0
+        for in_pin in cell.input_pins:
+            net = in_pin.net
+            if net is None or net.driver is None or net.is_clock:
+                continue
+            drv = net.driver
+            if drv.cell is not None and not drv.cell.is_sequential:
+                count += 1
+                dependents.setdefault(drv.cell.name, []).append(cell)
+        indegree[cell.name] = count
+    queue = deque(c for c in netlist.combinational_cells
+                  if indegree[c.name] == 0)
+    while queue:
+        cell = queue.popleft()
+        in_acts = []
+        for p in cell.input_pins:
+            if p.net is not None:
+                in_acts.append(activity.get(p.net.name, input_activity))
+        out_act = ACTIVITY_DAMPING * float(np.mean(in_acts)) \
+            if in_acts else 0.0
+        if cell.output_pin.net is not None:
+            activity[cell.output_pin.net.name] = out_act
+        for dep in dependents.get(cell.name, []):
+            indegree[dep.name] -= 1
+            if indegree[dep.name] == 0:
+                queue.append(dep)
+
+    leakage = 0.0
+    dynamic = 0.0
+    clock_tree = 0.0
+    by_function: Dict[str, float] = {}
+    for cell in netlist.cells.values():
+        leakage += cell.ref.leakage
+        contribution = cell.ref.leakage
+        net = cell.output_pin.net
+        if net is not None and not net.is_clock:
+            act = activity.get(net.name, 0.0)
+            cap = parasitics.net_load(net)
+            p_dyn = act * cap * vdd * vdd * freq
+            dynamic += p_dyn
+            contribution += p_dyn
+        if cell.is_sequential:
+            # CK pin switches every cycle (activity 1).
+            clock_tree += cell.ref.input_cap("CK") * vdd * vdd * freq
+        by_function[cell.ref.function] = \
+            by_function.get(cell.ref.function, 0.0) + contribution
+    return PowerReport(leakage=leakage, dynamic=dynamic,
+                       clock_tree=clock_tree, by_function=by_function)

@@ -1,0 +1,146 @@
+"""Design analysis reports (the tool-style summaries the CLI prints).
+
+Three report families, all plain-text renderable:
+
+- :func:`design_summary` — cell/net/area/utilization statistics, the
+  gate mix, and drive-strength histogram.
+- :func:`timing_summary` — slack histogram and per-endpoint-class stats
+  from a :class:`~repro.sta.engine.TimingReport`.
+- :func:`congestion_summary` — routing-demand hot spots from a
+  :class:`~repro.route.router.GlobalRouter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist import Netlist
+from ..place import Floorplan
+from ..route.router import GlobalRouter
+from ..sta import TimingReport
+
+
+@dataclass
+class DesignSummary:
+    """Structural snapshot of a mapped, placed design."""
+
+    name: str
+    library: str
+    cells: int
+    nets: int
+    sequential: int
+    total_area: float
+    utilization: float
+    gate_mix: Dict[str, int]
+    drive_histogram: Dict[float, int]
+
+    def format(self) -> str:
+        lines = [
+            f"Design {self.name} ({self.library})",
+            f"  cells: {self.cells} ({self.sequential} sequential), "
+            f"nets: {self.nets}",
+            f"  cell area: {self.total_area:.2f} um^2, "
+            f"utilization: {self.utilization:.1%}",
+            "  gate mix:",
+        ]
+        for fn, count in sorted(self.gate_mix.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"    {fn:>8}: {count}")
+        lines.append("  drive strengths:")
+        for drive, count in sorted(self.drive_histogram.items()):
+            lines.append(f"    x{drive:g}: {count}")
+        return "\n".join(lines)
+
+
+def design_summary(netlist: Netlist,
+                   floorplan: Optional[Floorplan] = None) -> DesignSummary:
+    """Build a :class:`DesignSummary` for a mapped design."""
+    gate_mix: Dict[str, int] = {}
+    drive_hist: Dict[float, int] = {}
+    for cell in netlist.cells.values():
+        gate_mix[cell.ref.function] = gate_mix.get(cell.ref.function,
+                                                   0) + 1
+        drive_hist[cell.ref.drive_strength] = \
+            drive_hist.get(cell.ref.drive_strength, 0) + 1
+    area = netlist.total_cell_area()
+    utilization = 0.0
+    if floorplan is not None and floorplan.core_area > 0:
+        utilization = area / floorplan.core_area
+    return DesignSummary(
+        name=netlist.name,
+        library=netlist.library.name,
+        cells=len(netlist.cells),
+        nets=len(netlist.nets),
+        sequential=len(netlist.sequential_cells),
+        total_area=area,
+        utilization=utilization,
+        gate_mix=gate_mix,
+        drive_histogram=drive_hist,
+    )
+
+
+def slack_histogram(report: TimingReport, bins: int = 8
+                    ) -> List[Tuple[float, float, int]]:
+    """Histogram of endpoint slacks as (low, high, count) triples."""
+    slacks = np.array(list(report.slack.values()))
+    if slacks.size == 0:
+        return []
+    lo, hi = float(slacks.min()), float(slacks.max())
+    if hi - lo < 1e-12:
+        return [(lo, hi, int(slacks.size))]
+    counts, edges = np.histogram(slacks, bins=bins, range=(lo, hi))
+    return [(float(edges[i]), float(edges[i + 1]), int(counts[i]))
+            for i in range(bins)]
+
+
+def timing_summary(report: TimingReport, bins: int = 8) -> str:
+    """Render a slack histogram plus WNS/TNS headline."""
+    lines = [
+        f"clock period: {report.clock.period:.4f} ns",
+        f"WNS: {report.wns:+.4f} ns   TNS: {report.tns:+.4f} ns   "
+        f"endpoints: {len(report.slack)}",
+        "slack histogram:",
+    ]
+    rows = slack_histogram(report, bins)
+    peak = max((c for _, _, c in rows), default=1) or 1
+    for lo, hi, count in rows:
+        bar = "#" * max(1, int(24 * count / peak)) if count else ""
+        lines.append(f"  [{lo:+8.3f}, {hi:+8.3f}) {count:>5} {bar}")
+    return "\n".join(lines)
+
+
+def congestion_summary(router: GlobalRouter, top: int = 5) -> str:
+    """Render the most congested routing bins."""
+    grid = router.grid
+    util = grid.demand / grid.capacity
+    flat = [(float(util[i, j]), i, j)
+            for i in range(util.shape[0])
+            for j in range(util.shape[1])
+            if util[i, j] > 0]
+    flat.sort(reverse=True)
+    lines = [
+        f"congestion grid {grid.bins}x{grid.bins}, "
+        f"peak {grid.max_utilization:.2f}, "
+        f"mean {float(util.mean()):.3f}",
+        f"top {min(top, len(flat))} hot spots:",
+    ]
+    for value, i, j in flat[:top]:
+        lines.append(f"  bin ({i:>2},{j:>2}): {value:.2f}")
+    total_wl = sum(router.routed_length.values())
+    lines.append(f"total routed wirelength: {total_wl:.1f} um over "
+                 f"{len(router.routed_length)} nets")
+    return "\n".join(lines)
+
+
+def full_report(netlist: Netlist, floorplan: Floorplan,
+                report: TimingReport,
+                router: Optional[GlobalRouter] = None) -> str:
+    """All sections concatenated — what ``repro.cli flow -v`` would show."""
+    parts = [design_summary(netlist, floorplan).format(),
+             timing_summary(report)]
+    if router is not None:
+        parts.append(congestion_summary(router))
+    return "\n\n".join(parts)

@@ -1,0 +1,213 @@
+"""Command-line interface for the reproduction.
+
+Subcommands::
+
+    python -m repro.cli flow DESIGN NODE       # run the PnR flow, report
+    python -m repro.cli sta DESIGN NODE        # worst-path timing report
+    python -m repro.cli export DESIGN NODE DIR # write .v/.def/.spef/.lib
+    python -m repro.cli report DESIGN NODE     # design/timing/power report
+    python -m repro.cli libs                   # library summaries
+    python -m repro.cli train [--steps N]      # train ours, report test R^2
+    python -m repro.cli experiments [NAMES]    # regenerate tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+
+def _libraries():
+    from .experiments import make_libraries
+
+    return make_libraries()
+
+
+def cmd_libs(args) -> int:
+    for node, lib in _libraries().items():
+        stats = lib.stats()
+        print(f"{node}: {lib.name} — {int(stats['num_cells'])} cells, "
+              f"{int(stats['num_functions'])} functions, "
+              f"mean input cap {stats['mean_input_cap'] * 1e3:.3f} fF, "
+              f"clock {lib.default_clock_period} ns")
+    return 0
+
+
+def cmd_flow(args) -> int:
+    from .features import GateVocabulary
+    from .flow import run_flow
+
+    libraries = _libraries()
+    vocab = GateVocabulary(list(libraries.values()))
+    data = run_flow(args.design, args.node, libraries, vocab=vocab)
+    print(f"{data.name}@{data.node}: {data.stats()}")
+    print(f"clock period {data.clock_period:.4f} ns")
+    for key, value in data.flow_info.items():
+        print(f"  {key}: {value:.4f}")
+    print(f"signoff AT: mean {data.labels.mean():.4f} ns, "
+          f"max {data.labels.max():.4f} ns over "
+          f"{data.num_endpoints} endpoints")
+    return 0
+
+
+def cmd_sta(args) -> int:
+    from .netlist import make_design, map_design
+    from .place import place_design
+    from .route import PreRouteEstimator, route_design
+    from .sta import report_worst_paths, run_sta
+
+    library = _libraries()[args.node]
+    netlist = map_design(make_design(args.design), library)
+    floorplan = place_design(netlist, seed=args.seed)
+    if args.routed:
+        parasitics = route_design(netlist, floorplan, seed=args.seed)
+    else:
+        parasitics = PreRouteEstimator(netlist)
+    report = run_sta(netlist, parasitics)
+    print(f"WNS {report.wns:+.4f} ns   TNS {report.tns:+.4f} ns   "
+          f"clock {report.clock.period:.4f} ns\n")
+    print(report_worst_paths(netlist, parasitics, n=args.paths,
+                             report=report))
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .io import write_def, write_liberty, write_spef, write_verilog
+    from .netlist import make_design, map_design
+    from .place import place_design
+    from .route import GlobalRouter
+
+    library = _libraries()[args.node]
+    netlist = map_design(make_design(args.design), library)
+    floorplan = place_design(netlist, seed=args.seed)
+    router = GlobalRouter(netlist, floorplan, seed=args.seed)
+    router.run()
+
+    out = Path(args.directory)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{args.design}.v").write_text(write_verilog(netlist))
+    (out / f"{args.design}.def").write_text(write_def(netlist, floorplan))
+    (out / f"{args.design}.spef").write_text(write_spef(netlist, router))
+    (out / f"{library.name}.lib").write_text(write_liberty(library))
+    print(f"wrote {args.design}.v/.def/.spef and {library.name}.lib "
+          f"to {out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import estimate_power, full_report
+    from .netlist import make_design, map_design
+    from .place import place_design
+    from .route import GlobalRouter, PreRouteEstimator, RoutedParasitics
+    from .sta import MonteCarloSTA, format_statistical_report, run_sta
+
+    library = _libraries()[args.node]
+    netlist = map_design(make_design(args.design), library)
+    floorplan = place_design(netlist, seed=args.seed)
+    router = GlobalRouter(netlist, floorplan, seed=args.seed)
+    router.run()
+    parasitics = RoutedParasitics(router)
+    report = run_sta(netlist, parasitics)
+    print(full_report(netlist, floorplan, report, router))
+    print()
+    print(estimate_power(netlist, parasitics,
+                         clock_period=report.clock.period).format())
+    if args.mc_samples:
+        print()
+        stat = MonteCarloSTA(netlist, parasitics,
+                             seed=args.seed).run_samples(args.mc_samples)
+        print(format_statistical_report(stat, report.clock.period))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .experiments import build_dataset
+    from .model import TimingPredictor
+    from .train import OursTrainer, TrainConfig, r2_score
+
+    dataset = build_dataset()
+    model = TimingPredictor(dataset.in_features, seed=args.seed)
+    config = TrainConfig(steps=args.steps, seed=args.seed)
+    print(f"training ours for {args.steps} steps ...")
+    OursTrainer(model, dataset.train, config).fit()
+    scores = []
+    for design in dataset.test:
+        r2 = r2_score(design.labels, model.predict(design))
+        scores.append(r2)
+        print(f"  {design.name:>10}: R^2 = {r2:.3f}")
+    print(f"  {'average':>10}: R^2 = {np.mean(scores):.3f}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.runner import run_all
+
+    run_all(args.names or None, seed=args.seed, steps=args.steps)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("libs", help="summarise the technology libraries")
+
+    p = sub.add_parser("flow", help="run one design through the flow")
+    p.add_argument("design")
+    p.add_argument("node", choices=["130nm", "7nm"])
+
+    p = sub.add_parser("sta", help="timing report for one design")
+    p.add_argument("design")
+    p.add_argument("node", choices=["130nm", "7nm"])
+    p.add_argument("--routed", action="store_true",
+                   help="use routed parasitics instead of estimates")
+    p.add_argument("--paths", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("export", help="write .v/.def/.spef/.lib files")
+    p.add_argument("design")
+    p.add_argument("node", choices=["130nm", "7nm"])
+    p.add_argument("directory")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report",
+                       help="full design/timing/power report")
+    p.add_argument("design")
+    p.add_argument("node", choices=["130nm", "7nm"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mc-samples", type=int, default=0,
+                   help="also run statistical STA with N samples")
+
+    p = sub.add_parser("train", help="train the paper's model")
+    p.add_argument("--steps", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate the paper's tables/figures")
+    p.add_argument("names", nargs="*")
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+COMMANDS = {
+    "libs": cmd_libs,
+    "report": cmd_report,
+    "flow": cmd_flow,
+    "sta": cmd_sta,
+    "export": cmd_export,
+    "train": cmd_train,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Dataset construction for the paper's experiments (Table 1).
+
+Builds the exact train/test split of the paper — four 130nm designs plus
+smallboom at 7nm for training, five 7nm designs for testing — through the
+full synthetic PnR flow, with joint feature normalisation fitted on the
+training graphs only.
+
+Because flow runs are deterministic but not free, built datasets are
+cached on disk (``~/.cache/repro-dac24`` by default) keyed by their
+parameters.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..features import (
+    GateVocabulary,
+    apply_normalization,
+    normalize_features,
+)
+from ..flow import DesignData, PnRFlow, load_design_data, save_design_data
+from ..netlist import TEST_SPLIT, TRAIN_SPLIT
+from ..techlib import make_asap7_library, make_sky130_library
+
+#: Default experiment scale knobs (see DESIGN.md section 5).
+DATASET_SCALE = {
+    "scale": 1.0,
+    "resolution": 32,
+    "seed": 0,
+}
+
+
+@dataclass
+class ExperimentDataset:
+    """The paper's dataset: train designs (two nodes) + 7nm test designs."""
+
+    train: List[DesignData]
+    test: List[DesignData]
+    in_features: int
+    norm_params: Dict[str, np.ndarray]
+
+    @property
+    def train_source(self) -> List[DesignData]:
+        return [d for d in self.train if d.node == "130nm"]
+
+    @property
+    def train_target(self) -> List[DesignData]:
+        return [d for d in self.train if d.node == "7nm"]
+
+    def by_name(self, name: str) -> DesignData:
+        for d in self.train + self.test:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    def subset_train(self, source_names: Sequence[str]
+                     ) -> List[DesignData]:
+        """Target designs plus the named 130nm designs (Table 3 rows)."""
+        keep = set(source_names)
+        return self.train_target + [d for d in self.train_source
+                                    if d.name in keep]
+
+
+def make_libraries():
+    """The two synthetic nodes keyed the way the dataset expects."""
+    return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR",
+                          os.path.join(os.path.expanduser("~"),
+                                       ".cache", "repro-dac24"))
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def build_dataset(scale: float = None, resolution: int = None,
+                  seed: int = None, use_cache: bool = True
+                  ) -> ExperimentDataset:
+    """Build (or load from cache) the full Table-1 dataset.
+
+    Normalisation is fitted on the training graphs and applied to the
+    test graphs; the returned dataset is ready for training.
+    """
+    scale = DATASET_SCALE["scale"] if scale is None else scale
+    resolution = DATASET_SCALE["resolution"] if resolution is None \
+        else resolution
+    seed = DATASET_SCALE["seed"] if seed is None else seed
+
+    key = f"dataset_v2_s{scale}_r{resolution}_seed{seed}"
+    cache = _cache_dir() / key
+    names = list(TRAIN_SPLIT.items()) + [(n, "7nm") for n in TEST_SPLIT]
+
+    designs: List[DesignData] = []
+    if use_cache and cache.is_dir():
+        try:
+            designs = [
+                load_design_data(cache / f"{name}.npz")
+                for name, _ in names
+            ]
+        except (OSError, KeyError):
+            designs = []
+    if not designs:
+        libraries = make_libraries()
+        vocab = GateVocabulary(list(libraries.values()))
+        flow = PnRFlow(libraries, vocab=vocab, resolution=resolution,
+                       scale=scale, seed=seed)
+        designs = [flow.run(name, node) for name, node in names]
+        if use_cache:
+            cache.mkdir(parents=True, exist_ok=True)
+            for design in designs:
+                save_design_data(design, cache / f"{design.name}.npz")
+
+    train = designs[: len(TRAIN_SPLIT)]
+    test = designs[len(TRAIN_SPLIT):]
+    params = normalize_features([d.graph for d in train])
+    for d in test:
+        apply_normalization(d.graph, params)
+    return ExperimentDataset(
+        train=train,
+        test=test,
+        in_features=train[0].graph.features.shape[1],
+        norm_params=params,
+    )

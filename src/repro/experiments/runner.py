@@ -1,0 +1,82 @@
+"""One-stop experiment driver: regenerate every table and figure.
+
+``python -m repro.experiments.runner`` reruns the full evaluation
+(Tables 1-3, Figures 1/6/8) and prints paper-style renderings.  The
+same entry points back the pytest benchmarks in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from .datasets import build_dataset
+from .extensions import (
+    format_calibration,
+    format_reverse_transfer,
+    run_reverse_transfer,
+    run_uncertainty_calibration,
+)
+from .fig1 import format_fig1, run_fig1
+from .fig6 import format_fig6, run_fig6
+from .fig8 import format_fig8, run_fig8
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+from .table3 import format_table3, run_table3
+
+EXPERIMENTS = {
+    "table1": (run_table1, format_table1, False),
+    "table2": (run_table2, format_table2, True),
+    "table3": (run_table3, format_table3, True),
+    "fig1": (run_fig1, format_fig1, True),
+    "fig6": (run_fig6, format_fig6, False),
+    "fig8": (run_fig8, format_fig8, True),
+    "calibration": (run_uncertainty_calibration, format_calibration, True),
+}
+
+
+def run_all(names=None, seed: int = 0, steps: Optional[int] = None,
+            stream=None) -> None:
+    """Run the named experiments (all by default) and print results."""
+    stream = stream or sys.stdout
+    names = names or list(EXPERIMENTS) + ["reverse"]
+    dataset = build_dataset()
+    for name in names:
+        t0 = time.perf_counter()
+        if name == "reverse":
+            result = run_reverse_transfer(
+                seed=seed, **({"steps": steps} if steps else {})
+            )
+            fmt = format_reverse_transfer
+        else:
+            run, fmt, trains = EXPERIMENTS[name]
+            kwargs = {"dataset": dataset}
+            if trains:
+                kwargs["seed"] = seed
+                if steps is not None:
+                    kwargs["steps"] = steps
+            result = run(**kwargs)
+        elapsed = time.perf_counter() - t0
+        print(f"\n=== {name} ({elapsed:.1f}s) ===", file=stream)
+        print(fmt(result), file=stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("experiments", nargs="*",
+                        choices=list(EXPERIMENTS) + ["reverse"],
+                        help="subset to run (default: all)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override training steps (faster, rougher)")
+    args = parser.parse_args(argv)
+    run_all(args.experiments or None, seed=args.seed, steps=args.steps)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Experiment: Table 1 — dataset statistics.
+
+Regenerates the paper's dataset-statistics table: per design, the
+technology node, pin count, endpoint count, and net/cell edge counts,
+plus train/test averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .datasets import ExperimentDataset, build_dataset
+
+COLUMNS = ("benchmark", "split", "tech node", "#pin", "#edp", "#e_n", "#e_c")
+
+
+def run_table1(dataset: Optional[ExperimentDataset] = None
+               ) -> List[Dict[str, object]]:
+    """Compute Table 1 rows (one per design, then the two averages)."""
+    dataset = dataset or build_dataset()
+    rows: List[Dict[str, object]] = []
+    for split, designs in (("train", dataset.train), ("test", dataset.test)):
+        for d in designs:
+            row = {"benchmark": d.name, "split": split}
+            row.update(d.stats())
+            rows.append(row)
+    for split, designs in (("train", dataset.train), ("test", dataset.test)):
+        stats = [d.stats() for d in designs]
+        rows.append({
+            "benchmark": f"Avg {split}",
+            "split": split,
+            "tech node": "7nm&130nm" if split == "train" else "7nm",
+            "#pin": int(np.mean([s["#pin"] for s in stats])),
+            "#edp": int(np.mean([s["#edp"] for s in stats])),
+            "#e_n": int(np.mean([s["#e_n"] for s in stats])),
+            "#e_c": int(np.mean([s["#e_c"] for s in stats])),
+        })
+    return rows
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    """Render rows the way the paper prints Table 1."""
+    header = " | ".join(f"{c:>10}" for c in COLUMNS)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(" | ".join(f"{str(row[c]):>10}" for c in COLUMNS))
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Feature extraction: layout images, fanin cones, pin-graph encoding."""
+
+from .encode import (
+    GateVocabulary,
+    PinGraph,
+    apply_normalization,
+    encode_netlist,
+    normalize_features,
+)
+from .layout import cell_density_map, layout_images, macro_region_map
+from .paths import all_fanin_cones, cone_mask, fanin_cone
+
+__all__ = [
+    "GateVocabulary",
+    "PinGraph",
+    "all_fanin_cones",
+    "apply_normalization",
+    "cell_density_map",
+    "cone_mask",
+    "encode_netlist",
+    "fanin_cone",
+    "layout_images",
+    "macro_region_map",
+    "normalize_features",
+]

@@ -1,0 +1,226 @@
+"""Encoding a placed netlist as arrays for the GNN.
+
+Produces the heterogeneous pin graph of the paper: nodes are pins, edges
+are *net edges* (net driver -> sink) and *cell edges* (combinational cell
+input -> output).  Node features follow Section 3.1: net distance, cell
+driving strength, gate type (one-hot over the *merged* gate set of all
+technology nodes), and pin capacitance.
+
+The encoder also levelises the graph so the GNN can propagate from the
+primary inputs to the endpoints in topological sweeps, mirroring the STA
+engine's PERT traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist import Netlist, Pin
+from ..route import manhattan
+from ..techlib import TechLibrary, merged_cell_vocabulary
+
+#: Extra one-hot slot used for top-level ports (they have no cell type).
+PORT_TYPE = "__port__"
+
+
+class GateVocabulary:
+    """The merged one-hot gate vocabulary across technology nodes.
+
+    The paper: "we use one-hot representation for the gate type and merge
+    all the gates in different technology nodes as the total gate set."
+    """
+
+    def __init__(self, libraries: Sequence[TechLibrary]) -> None:
+        names = merged_cell_vocabulary(libraries) + [PORT_TYPE]
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(names)}
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def encode(self, cell_name: Optional[str]) -> int:
+        """Vocabulary slot for a cell type (None = port)."""
+        return self.index[cell_name if cell_name is not None else PORT_TYPE]
+
+
+@dataclass
+class PinGraph:
+    """Array view of a placed netlist's timing graph.
+
+    Attributes
+    ----------
+    features:
+        ``(N, F)`` float array; F = 3 numeric features + |vocab| one-hot.
+    net_edges / cell_edges:
+        ``(2, E)`` int arrays of (source row, destination row).
+    levels:
+        ``levels[k]`` lists the rows whose value becomes final at sweep k
+        (level 0 = timing startpoints).
+    row_of_pin:
+        Maps netlist pin index -> graph row.
+    endpoint_rows / endpoint_names:
+        Rows and stable names of the design's timing endpoints.
+    """
+
+    features: np.ndarray
+    net_edges: np.ndarray
+    cell_edges: np.ndarray
+    levels: List[np.ndarray]
+    row_of_pin: Dict[int, int]
+    endpoint_rows: np.ndarray
+    endpoint_names: List[str]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pins": self.num_nodes,
+            "endpoints": len(self.endpoint_rows),
+            "net_edges": self.net_edges.shape[1],
+            "cell_edges": self.cell_edges.shape[1],
+            "levels": len(self.levels),
+        }
+
+
+def encode_netlist(netlist: Netlist, vocab: GateVocabulary) -> PinGraph:
+    """Encode a placed netlist into a :class:`PinGraph`."""
+    pins = _connected_pins(netlist)
+    row_of_pin = {pin.index: row for row, pin in enumerate(pins)}
+
+    features = _node_features(netlist, pins, vocab)
+    net_edges, cell_edges = _edges(netlist, row_of_pin)
+    levels = _levelize(len(pins), net_edges, cell_edges)
+
+    endpoints = netlist.timing_endpoints()
+    endpoint_rows = np.array([row_of_pin[p.index] for p in endpoints],
+                             dtype=np.int64)
+    endpoint_names = [p.full_name for p in endpoints]
+    return PinGraph(
+        features=features,
+        net_edges=net_edges,
+        cell_edges=cell_edges,
+        levels=levels,
+        row_of_pin=row_of_pin,
+        endpoint_rows=endpoint_rows,
+        endpoint_names=endpoint_names,
+    )
+
+
+def _connected_pins(netlist: Netlist) -> List[Pin]:
+    """Pins participating in the signal graph (clock pins excluded)."""
+    out = []
+    for pin in netlist.pins:
+        net = pin.net
+        if net is None or net.is_clock:
+            continue
+        out.append(pin)
+    return out
+
+
+def _node_features(netlist: Netlist, pins: List[Pin],
+                   vocab: GateVocabulary) -> np.ndarray:
+    n = len(pins)
+    numeric = np.zeros((n, 3))
+    onehot = np.zeros((n, len(vocab)))
+    for row, pin in enumerate(pins):
+        # Net distance: Manhattan length from the net's driver (0 at the
+        # driver itself).
+        net = pin.net
+        if net is not None and net.driver is not None \
+                and net.driver is not pin:
+            numeric[row, 0] = manhattan(net.driver, pin)
+        # Cell driving strength (ports get 0).
+        if pin.cell is not None:
+            numeric[row, 1] = pin.cell.ref.drive_strength
+            onehot[row, vocab.encode(pin.cell.ref.name)] = 1.0
+        else:
+            onehot[row, vocab.encode(None)] = 1.0
+        # Pin capacitance.
+        numeric[row, 2] = pin.cap
+    return np.concatenate([numeric, onehot], axis=1)
+
+
+def _edges(netlist: Netlist,
+           row_of_pin: Dict[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+    net_src, net_dst = [], []
+    for driver, sink in netlist.net_edges():
+        if driver.index in row_of_pin and sink.index in row_of_pin:
+            net_src.append(row_of_pin[driver.index])
+            net_dst.append(row_of_pin[sink.index])
+    cell_src, cell_dst = [], []
+    for in_pin, out_pin in netlist.cell_edges():
+        if in_pin.index in row_of_pin and out_pin.index in row_of_pin:
+            cell_src.append(row_of_pin[in_pin.index])
+            cell_dst.append(row_of_pin[out_pin.index])
+    net_edges = np.array([net_src, net_dst], dtype=np.int64) \
+        if net_src else np.zeros((2, 0), dtype=np.int64)
+    cell_edges = np.array([cell_src, cell_dst], dtype=np.int64) \
+        if cell_src else np.zeros((2, 0), dtype=np.int64)
+    return net_edges, cell_edges
+
+
+def _levelize(num_nodes: int, net_edges: np.ndarray,
+              cell_edges: np.ndarray) -> List[np.ndarray]:
+    """Group rows into topological levels over the combined edge set."""
+    indegree = np.zeros(num_nodes, dtype=np.int64)
+    adjacency: Dict[int, List[int]] = {}
+    for edges in (net_edges, cell_edges):
+        for src, dst in edges.T:
+            indegree[dst] += 1
+            adjacency.setdefault(int(src), []).append(int(dst))
+
+    level = np.zeros(num_nodes, dtype=np.int64)
+    queue = deque(np.nonzero(indegree == 0)[0].tolist())
+    seen = 0
+    while queue:
+        node = queue.popleft()
+        seen += 1
+        for nxt in adjacency.get(int(node), []):
+            level[nxt] = max(level[nxt], level[node] + 1)
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                queue.append(nxt)
+    if seen != num_nodes:
+        raise ValueError("pin graph contains a cycle; check register "
+                         "handling in the netlist")
+    levels = []
+    for k in range(int(level.max()) + 1 if num_nodes else 0):
+        levels.append(np.nonzero(level == k)[0])
+    return levels
+
+
+def normalize_features(graphs: Sequence[PinGraph],
+                       numeric_columns: int = 3) -> Dict[str, np.ndarray]:
+    """Standardise numeric feature columns *jointly* across graphs.
+
+    One shared affine transform is fit on the union of all training
+    graphs and applied in place.  Sharing the transform preserves the
+    between-node distribution shift (the thing the paper's model must
+    cope with) while keeping gradients well-scaled.
+
+    Returns the ``{"mean": ..., "std": ...}`` parameters so test graphs
+    can be transformed consistently via :func:`apply_normalization`.
+    """
+    stacked = np.concatenate(
+        [g.features[:, :numeric_columns] for g in graphs], axis=0
+    )
+    mean = stacked.mean(axis=0)
+    std = stacked.std(axis=0)
+    std[std < 1e-12] = 1.0
+    params = {"mean": mean, "std": std}
+    for g in graphs:
+        apply_normalization(g, params, numeric_columns)
+    return params
+
+
+def apply_normalization(graph: PinGraph, params: Dict[str, np.ndarray],
+                        numeric_columns: int = 3) -> None:
+    """Apply a fitted normalisation to one graph (in place)."""
+    cols = graph.features[:, :numeric_columns]
+    graph.features[:, :numeric_columns] = (cols - params["mean"]) \
+        / params["std"]

@@ -1,0 +1,64 @@
+"""Layout image generation (the CNN's input modality).
+
+The paper's layout image set X has three channels: cell density map,
+rectangular uniform wire density (RUDY) map, and macro-region map.  All
+are rasterised on a ``resolution x resolution`` grid over the die, row 0
+at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist
+from ..place import Floorplan
+from ..route import rudy_map
+
+
+def cell_density_map(netlist: Netlist, floorplan: Floorplan,
+                     resolution: int = 32) -> np.ndarray:
+    """Fraction of each bin's area occupied by standard cells."""
+    grid = np.zeros((resolution, resolution))
+    w = max(floorplan.width, 1e-9)
+    h = max(floorplan.height, 1e-9)
+    bin_area = (w / resolution) * (h / resolution)
+    for cell in netlist.cells.values():
+        j = min(resolution - 1, max(0, int(cell.x / w * resolution)))
+        i = min(resolution - 1, max(0, int(cell.y / h * resolution)))
+        grid[i, j] += cell.area / bin_area
+    return grid
+
+
+def macro_region_map(floorplan: Floorplan,
+                     resolution: int = 32) -> np.ndarray:
+    """Binary mask of macro blockage coverage."""
+    grid = np.zeros((resolution, resolution))
+    w = max(floorplan.width, 1e-9)
+    h = max(floorplan.height, 1e-9)
+    for macro in floorplan.macros:
+        j0 = min(resolution - 1, max(0, int(macro.x / w * resolution)))
+        j1 = min(resolution - 1,
+                 max(0, int((macro.x + macro.width) / w * resolution)))
+        i0 = min(resolution - 1, max(0, int(macro.y / h * resolution)))
+        i1 = min(resolution - 1,
+                 max(0, int((macro.y + macro.height) / h * resolution)))
+        grid[i0:i1 + 1, j0:j1 + 1] = 1.0
+    return grid
+
+
+def layout_images(netlist: Netlist, floorplan: Floorplan,
+                  resolution: int = 32) -> np.ndarray:
+    """Stack the three channels into a ``(3, R, R)`` image.
+
+    Channel order: cell density, RUDY, macro region.  The first two are
+    normalised to [0, 1] by their own maximum so both nodes' images live
+    on comparable scales.
+    """
+    density = cell_density_map(netlist, floorplan, resolution)
+    rudy = rudy_map(netlist, floorplan, resolution)
+    macro = macro_region_map(floorplan, resolution)
+    for channel in (density, rudy):
+        peak = channel.max()
+        if peak > 0:
+            channel /= peak
+    return np.stack([density, rudy, macro]).astype(np.float64)

@@ -1,0 +1,83 @@
+"""Timing path (fanin cone) extraction.
+
+A timing path G' in the paper is the whole fanin cone of an endpoint: the
+sub-graph of all pins that can reach the endpoint without crossing a
+register boundary.  Cones provide (a) the pin set whose GNN embedding is
+read out at the endpoint and (b) the spatial mask applied to the layout
+images before the CNN.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+import numpy as np
+
+from ..netlist import Netlist, Pin
+from ..place import Floorplan
+
+
+def fanin_cone(netlist: Netlist, endpoint: Pin) -> Set[int]:
+    """Pin indices of the endpoint's fanin cone (endpoint included).
+
+    Walks backwards across net edges (sink -> driver) and combinational
+    cell edges (output -> inputs); stops at primary inputs and flop Q
+    pins, which are timing startpoints.
+    """
+    seen: Set[int] = {endpoint.index}
+    queue = deque([endpoint])
+    while queue:
+        pin = queue.popleft()
+        # Cross the net backwards: sink -> driver.  Sinks are cell input
+        # pins and primary-output port pins, both direction "input".
+        if pin.direction == "input":
+            net = pin.net
+            if net is None or net.is_clock or net.driver is None:
+                continue
+            driver = net.driver
+            if driver.index not in seen:
+                seen.add(driver.index)
+                queue.append(driver)
+        elif pin.cell is not None and not pin.cell.is_sequential:
+            # Cross the cell backwards: output -> inputs.
+            for in_pin in pin.cell.input_pins:
+                if in_pin.index not in seen:
+                    seen.add(in_pin.index)
+                    queue.append(in_pin)
+    return seen
+
+
+def all_fanin_cones(netlist: Netlist) -> Dict[str, Set[int]]:
+    """Fanin cones for every timing endpoint, keyed by endpoint name."""
+    return {pin.full_name: fanin_cone(netlist, pin)
+            for pin in netlist.timing_endpoints()}
+
+
+def cone_mask(netlist: Netlist, cone: Set[int], floorplan: Floorplan,
+              resolution: int = 32, dilate: int = 1) -> np.ndarray:
+    """Rasterise a cone's pin locations into a binary mask.
+
+    Parameters
+    ----------
+    dilate:
+        Number of 4-neighbourhood dilation steps applied so that a cone
+        covers a visible region rather than isolated pixels (the paper
+        masks images "with the pin locations on the layout image").
+    """
+    grid = np.zeros((resolution, resolution), dtype=bool)
+    w = max(floorplan.width, 1e-9)
+    h = max(floorplan.height, 1e-9)
+    for idx in cone:
+        pin = netlist.pins[idx]
+        j = min(resolution - 1, max(0, int(pin.x / w * resolution)))
+        i = min(resolution - 1, max(0, int(pin.y / h * resolution)))
+        grid[i, j] = True
+    for _ in range(dilate):
+        shifted = grid.copy()
+        shifted[1:, :] |= grid[:-1, :]
+        shifted[:-1, :] |= grid[1:, :]
+        shifted[:, 1:] |= grid[:, :-1]
+        shifted[:, :-1] |= grid[:, 1:]
+        grid = shifted
+    return grid.astype(np.float64)

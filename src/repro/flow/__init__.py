@@ -1,0 +1,18 @@
+"""End-to-end data-generation flow and dataset containers."""
+
+from .dataset import (
+    DesignData,
+    dataset_statistics,
+    load_design_data,
+    save_design_data,
+)
+from .pnr import PnRFlow, run_flow
+
+__all__ = [
+    "DesignData",
+    "PnRFlow",
+    "dataset_statistics",
+    "load_design_data",
+    "run_flow",
+    "save_design_data",
+]

@@ -1,0 +1,150 @@
+"""Dataset containers produced by the PnR flow.
+
+A :class:`DesignData` is one row of Table 1: everything the timing
+predictor may see for one design (pre-route pin graph, layout images,
+per-endpoint cone masks) plus the signoff labels it must predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..features import PinGraph
+
+
+@dataclass
+class DesignData:
+    """One design's model inputs and labels.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"arm9"``).
+    node:
+        Technology node string, ``"130nm"`` or ``"7nm"``.
+    graph:
+        Pre-route pin graph snapshot (model input).
+    images:
+        ``(3, R, R)`` layout images at the snapshot.
+    cone_masks:
+        ``(K, R, R)`` per-endpoint binary cone masks, aligned with
+        ``graph.endpoint_rows``.
+    labels:
+        ``(K,)`` signoff arrival times (ns) per endpoint — the target.
+    pre_route_at:
+        ``(K,)`` pre-route Elmore/STA arrival estimates per endpoint
+        (the traditional linear-RC baseline, and a useful sanity signal).
+    clock_period:
+        Constraint used during optimization (ns).
+    flow_info:
+        Free-form diagnostics from the flow (optimization moves, WNS...).
+    """
+
+    name: str
+    node: str
+    graph: PinGraph
+    images: np.ndarray
+    cone_masks: np.ndarray
+    labels: np.ndarray
+    pre_route_at: np.ndarray
+    clock_period: float
+    flow_info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_endpoints(self) -> int:
+        return int(self.labels.shape[0])
+
+    def endpoint_table(self) -> List[Dict[str, float]]:
+        """Per-endpoint records: name, label, pre-route estimate."""
+        return [
+            {
+                "name": self.graph.endpoint_names[k],
+                "label": float(self.labels[k]),
+                "pre_route": float(self.pre_route_at[k]),
+            }
+            for k in range(self.num_endpoints)
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Table-1 statistics for this design."""
+        s = self.graph.stats()
+        return {
+            "tech node": self.node,
+            "#pin": s["pins"],
+            "#edp": s["endpoints"],
+            "#e_n": s["net_edges"],
+            "#e_c": s["cell_edges"],
+        }
+
+    def __repr__(self) -> str:
+        return (f"DesignData({self.name}@{self.node}, "
+                f"edp={self.num_endpoints})")
+
+
+def dataset_statistics(designs: List[DesignData]) -> List[Dict[str, object]]:
+    """Table-1 style rows (one per design plus train/test averages)."""
+    rows = []
+    for d in designs:
+        row = {"benchmark": d.name}
+        row.update(d.stats())
+        rows.append(row)
+    return rows
+
+
+def save_design_data(data: DesignData, path: Union[str, Path]) -> None:
+    """Persist a design's tensors (graph + labels) as compressed npz."""
+    np.savez_compressed(
+        str(path),
+        name=np.array(data.name),
+        node=np.array(data.node),
+        features=data.graph.features,
+        net_edges=data.graph.net_edges,
+        cell_edges=data.graph.cell_edges,
+        endpoint_rows=data.graph.endpoint_rows,
+        endpoint_names=np.array(data.graph.endpoint_names),
+        levels=np.array(
+            [len(lv) for lv in data.graph.levels], dtype=np.int64
+        ),
+        levels_flat=np.concatenate(data.graph.levels)
+        if data.graph.levels else np.zeros(0, dtype=np.int64),
+        images=data.images,
+        cone_masks=data.cone_masks,
+        labels=data.labels,
+        pre_route_at=data.pre_route_at,
+        clock_period=np.array(data.clock_period),
+    )
+
+
+def load_design_data(path: Union[str, Path]) -> DesignData:
+    """Load a design saved by :func:`save_design_data`."""
+    with np.load(str(path), allow_pickle=False) as z:
+        counts = z["levels"]
+        flat = z["levels_flat"]
+        levels, offset = [], 0
+        for c in counts:
+            levels.append(flat[offset:offset + int(c)])
+            offset += int(c)
+        endpoint_rows = z["endpoint_rows"]
+        graph = PinGraph(
+            features=z["features"],
+            net_edges=z["net_edges"],
+            cell_edges=z["cell_edges"],
+            levels=levels,
+            row_of_pin={},  # not needed after encoding
+            endpoint_rows=endpoint_rows,
+            endpoint_names=[str(n) for n in z["endpoint_names"]],
+        )
+        return DesignData(
+            name=str(z["name"]),
+            node=str(z["node"]),
+            graph=graph,
+            images=z["images"],
+            cone_masks=z["cone_masks"],
+            labels=z["labels"],
+            pre_route_at=z["pre_route_at"],
+            clock_period=float(z["clock_period"]),
+        )

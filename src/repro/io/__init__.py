@@ -1,0 +1,27 @@
+"""EDA interchange formats: structural Verilog, DEF, Liberty, SPEF."""
+
+from .def_format import DefParseError, parse_def, write_def
+from .liberty import LibertyParseError, parse_liberty, write_liberty
+from .spef import SpefParseError, parse_spef, write_spef
+from .verilog import (
+    VerilogParseError,
+    parse_verilog,
+    verilog_roundtrip_equal,
+    write_verilog,
+)
+
+__all__ = [
+    "DefParseError",
+    "LibertyParseError",
+    "SpefParseError",
+    "VerilogParseError",
+    "parse_def",
+    "parse_liberty",
+    "parse_spef",
+    "parse_verilog",
+    "verilog_roundtrip_equal",
+    "write_def",
+    "write_liberty",
+    "write_spef",
+    "write_verilog",
+]

@@ -1,0 +1,129 @@
+"""Simplified DEF (Design Exchange Format) writer and parser.
+
+Covers the subset the flow needs to exchange placement: DIEAREA, ROW
+statements, COMPONENTS with PLACED locations, and PINS with port
+locations.  Distances use the customary DEF integer database units
+(1000 DBU per micron).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..netlist import Netlist
+from ..place import Floorplan, MacroRegion
+
+DBU_PER_MICRON = 1000
+
+
+def _dbu(value: float) -> int:
+    return int(round(value * DBU_PER_MICRON))
+
+
+def _um(value: str) -> float:
+    return int(value) / DBU_PER_MICRON
+
+
+def write_def(netlist: Netlist, floorplan: Floorplan) -> str:
+    """Serialise placement as simplified DEF."""
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {netlist.name} ;",
+        f"UNITS DISTANCE MICRONS {DBU_PER_MICRON} ;",
+        f"DIEAREA ( 0 0 ) ( {_dbu(floorplan.width)} "
+        f"{_dbu(floorplan.height)} ) ;",
+    ]
+    for row in range(floorplan.num_rows):
+        y = _dbu(row * floorplan.row_height)
+        lines.append(
+            f"ROW row_{row} core 0 {y} N ;"
+        )
+    for i, macro in enumerate(floorplan.macros):
+        lines.append(
+            f"REGION macro_{i} ( {_dbu(macro.x)} {_dbu(macro.y)} ) "
+            f"( {_dbu(macro.x + macro.width)} "
+            f"{_dbu(macro.y + macro.height)} ) ;"
+        )
+
+    lines.append(f"COMPONENTS {len(netlist.cells)} ;")
+    for name in sorted(netlist.cells):
+        inst = netlist.cells[name]
+        lines.append(
+            f"  - {name} {inst.ref.name} + PLACED "
+            f"( {_dbu(inst.x)} {_dbu(inst.y)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+
+    lines.append(f"PINS {len(netlist.ports)} ;")
+    for name in sorted(netlist.ports):
+        pin = netlist.ports[name]
+        direction = "INPUT" if pin.direction == "output" else "OUTPUT"
+        lines.append(
+            f"  - {name} + DIRECTION {direction} + PLACED "
+            f"( {_dbu(pin.x)} {_dbu(pin.y)} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+class DefParseError(ValueError):
+    """Raised on malformed DEF text."""
+
+
+def parse_def(text: str, netlist: Netlist) -> Floorplan:
+    """Apply a DEF's placement onto ``netlist`` and return the floorplan.
+
+    Component and pin names must exist in the netlist (the usual DEF /
+    netlist pairing contract).
+    """
+    die = re.search(
+        r"DIEAREA \( 0 0 \) \( (\d+) (\d+) \)", text
+    )
+    if not die:
+        raise DefParseError("missing DIEAREA")
+    width, height = _um(die.group(1)), _um(die.group(2))
+
+    rows = re.findall(r"ROW \S+ \S+ \d+ (\d+) N ;", text)
+    if len(rows) >= 2:
+        ys = sorted({_um(y) for y in rows})
+        row_height = ys[1] - ys[0]
+    else:
+        row_height = netlist.library.site[1]
+
+    floorplan = Floorplan(width=width, height=height,
+                          row_height=row_height,
+                          site_width=netlist.library.site[0])
+    for match in re.finditer(
+        r"REGION \S+ \( (\d+) (\d+) \) \( (\d+) (\d+) \)", text
+    ):
+        x0, y0, x1, y1 = (_um(g) for g in match.groups())
+        floorplan.macros.append(
+            MacroRegion(x0, y0, x1 - x0, y1 - y0)
+        )
+
+    for match in re.finditer(
+        r"- (\S+) (\S+) \+ PLACED \( (\d+) (\d+) \) N ;", text
+    ):
+        name, ref, x, y = match.groups()
+        inst = netlist.cells.get(name)
+        if inst is None:
+            raise DefParseError(f"component {name} not in netlist")
+        if inst.ref.name != ref:
+            raise DefParseError(
+                f"component {name} is {inst.ref.name}, DEF says {ref}"
+            )
+        inst.x, inst.y = _um(x), _um(y)
+        for k, pin in enumerate(inst.pins.values()):
+            pin.x = inst.x + 0.1 * floorplan.site_width * k
+            pin.y = inst.y
+
+    for match in re.finditer(
+        r"- (\S+) \+ DIRECTION \S+ \+ PLACED \( (\d+) (\d+) \) N ;", text
+    ):
+        name, x, y = match.groups()
+        pin = netlist.ports.get(name)
+        if pin is None:
+            raise DefParseError(f"pin {name} not in netlist")
+        pin.x, pin.y = _um(x), _um(y)
+    return floorplan

@@ -1,0 +1,190 @@
+"""Liberty-style (``.lib``) library writer and reader.
+
+Writes the synthetic libraries in a liberty-like syntax — cell groups,
+pin groups with capacitance and direction, and ``lu_table`` timing
+groups with explicit index/value arrays — and parses that subset back.
+The round trip reconstructs a fully functional
+:class:`~repro.techlib.TechLibrary`, which is how the reproduction's
+"PDKs" could be shipped or inspected as text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+import numpy as np
+
+from ..techlib import (
+    StandardCell,
+    TechLibrary,
+    TimingArc,
+    TimingTable,
+    WireModel,
+)
+
+
+def _fmt_values(values: np.ndarray) -> str:
+    rows = [", ".join(f"{v:.6g}" for v in row) for row in values]
+    return " \\\n        ".join(f'"{row}"' for row in rows)
+
+
+def _fmt_axis(axis: np.ndarray) -> str:
+    return '"' + ", ".join(f"{v:.6g}" for v in axis) + '"'
+
+
+def write_liberty(library: TechLibrary) -> str:
+    """Serialise ``library`` in liberty-like text."""
+    lines = [
+        f"library ({library.name}) {{",
+        "  time_unit : \"1ns\";",
+        "  capacitive_load_unit (1, pf);",
+        f"  /* node: {library.node_nm}nm */",
+        f"  wire_load: res_per_um {library.wire.res_per_um:.6g} "
+        f"cap_per_um {library.wire.cap_per_um:.6g};",
+        f"  site: width {library.site[0]:.6g} "
+        f"height {library.site[1]:.6g};",
+        f"  default_clock_period: {library.default_clock_period:.6g};",
+        f"  default_input_slew: {library.primary_input_slew:.6g};",
+    ]
+    for name in sorted(library.cells):
+        cell = library.cells[name]
+        lines.append(f"  cell ({cell.name}) {{")
+        lines.append(f"    /* function: {cell.function} */")
+        lines.append(f"    area : {cell.area:.6g};")
+        lines.append(f"    cell_leakage_power : {cell.leakage:.6g};")
+        lines.append(f"    drive_strength : {cell.drive_strength:.6g};")
+        if cell.is_sequential:
+            lines.append("    ff () {")
+            lines.append(f"      setup : {cell.setup_time:.6g};")
+            lines.append(f"      clk_to_q : {cell.clk_to_q:.6g};")
+            lines.append("    }")
+        for pin_name in cell.input_pins:
+            lines.append(f"    pin ({pin_name}) {{")
+            lines.append("      direction : input;")
+            lines.append(
+                f"      capacitance : {cell.pin_caps[pin_name]:.6g};"
+            )
+            lines.append("    }")
+        lines.append(f"    pin ({cell.output_pin}) {{")
+        lines.append("      direction : output;")
+        for arc in cell.arcs:
+            for kind, table in (("cell_rise", arc.delay),
+                                ("rise_transition", arc.output_slew)):
+                lines.append(f"      timing () {{ /* {arc.input_pin} -> "
+                             f"{arc.output_pin} {kind} */")
+                lines.append(f"        related_pin : \"{arc.input_pin}\";")
+                lines.append(f"        {kind} (lut) {{")
+                lines.append(
+                    f"          index_1 ({_fmt_axis(table.slew_axis)});"
+                )
+                lines.append(
+                    f"          index_2 ({_fmt_axis(table.load_axis)});"
+                )
+                lines.append(
+                    f"          values ({_fmt_values(table.values)});"
+                )
+                lines.append("        }")
+                lines.append("      }")
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+class LibertyParseError(ValueError):
+    """Raised on malformed liberty text."""
+
+
+def _parse_numbers(text: str) -> List[float]:
+    return [float(v) for v in re.findall(r"[-+0-9.eE]+", text)]
+
+
+def parse_liberty(text: str) -> TechLibrary:
+    """Parse liberty text written by :func:`write_liberty`."""
+    lib_match = re.search(r"library \((\S+)\)", text)
+    if not lib_match:
+        raise LibertyParseError("no library group")
+    name = lib_match.group(1)
+    node = float(re.search(r"/\* node: ([\d.]+)nm \*/", text).group(1))
+    wire = re.search(
+        r"wire_load: res_per_um (\S+) cap_per_um (\S+);", text
+    )
+    site = re.search(r"site: width (\S+) height (\S+);", text)
+    period = float(re.search(r"default_clock_period: (\S+);",
+                             text).group(1))
+    in_slew = float(re.search(r"default_input_slew: (\S+);",
+                              text).group(1))
+
+    cells: List[StandardCell] = []
+    cell_blocks = re.split(r"\n  cell \(", text)[1:]
+    for block in cell_blocks:
+        cell_name = block.split(")", 1)[0]
+        function = re.search(r"/\* function: (\S+) \*/", block).group(1)
+        area = float(re.search(r"area : (\S+);", block).group(1))
+        leakage = float(re.search(r"cell_leakage_power : (\S+);",
+                                  block).group(1))
+        drive = float(re.search(r"drive_strength : (\S+);",
+                                block).group(1))
+        is_seq = "ff ()" in block
+        setup = clk_to_q = 0.0
+        if is_seq:
+            setup = float(re.search(r"setup : (\S+);", block).group(1))
+            clk_to_q = float(re.search(r"clk_to_q : (\S+);",
+                                       block).group(1))
+
+        pin_caps: Dict[str, float] = {}
+        input_pins: List[str] = []
+        output_pin = None
+        for pin_match in re.finditer(
+            r"pin \((\w+)\) \{\s*direction : (input|output);"
+            r"(?:\s*capacitance : (\S+);)?", block
+        ):
+            pin_name, direction, cap = pin_match.groups()
+            if direction == "input":
+                input_pins.append(pin_name)
+                pin_caps[pin_name] = float(cap)
+            else:
+                output_pin = pin_name
+        if output_pin is None:
+            raise LibertyParseError(f"cell {cell_name} has no output pin")
+
+        arcs: Dict[str, Dict[str, TimingTable]] = {}
+        for timing in re.finditer(
+            r"timing \(\) \{ /\* (\w+) -> (\w+) (\w+) \*/\s*"
+            r"related_pin : \"(\w+)\";\s*"
+            r"\w+ \(lut\) \{\s*"
+            r"index_1 \(([^;]+)\);\s*"
+            r"index_2 \(([^;]+)\);\s*"
+            r"values \((.*?)\);\s*\}",
+            block, re.DOTALL,
+        ):
+            in_pin, _out, kind, _rel, idx1, idx2, values = timing.groups()
+            slew_axis = _parse_numbers(idx1)
+            load_axis = _parse_numbers(idx2)
+            flat = _parse_numbers(values)
+            table = TimingTable(
+                slew_axis, load_axis,
+                np.array(flat).reshape(len(slew_axis), len(load_axis)),
+            )
+            arcs.setdefault(in_pin, {})[kind] = table
+
+        arc_list = [
+            TimingArc(in_pin, output_pin,
+                      tables["cell_rise"], tables["rise_transition"])
+            for in_pin, tables in arcs.items()
+        ]
+        cells.append(StandardCell(
+            name=cell_name, function=function, drive_strength=drive,
+            input_pins=input_pins, output_pin=output_pin,
+            pin_caps=pin_caps, arcs=arc_list, area=area, leakage=leakage,
+            is_sequential=is_seq, setup_time=setup, clk_to_q=clk_to_q,
+        ))
+
+    return TechLibrary(
+        name=name, node_nm=node, cells=cells,
+        wire=WireModel(float(wire.group(1)), float(wire.group(2))),
+        site=(float(site.group(1)), float(site.group(2))),
+        default_clock_period=period,
+        primary_input_slew=in_slew,
+    )

@@ -1,0 +1,99 @@
+"""SPEF-style parasitics writer and reader.
+
+Serialises the router's per-net RC trees in a SPEF-like format
+(``*D_NET`` blocks with ``*CAP`` and ``*RES`` sections) and parses the
+same subset back into :class:`~repro.sta.rc.RCTree` objects.  This is
+how signoff parasitics would be handed between the router and an
+external STA tool.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from ..netlist import Netlist
+from ..route.router import GlobalRouter
+from ..sta.rc import RCTree
+
+
+def write_spef(netlist: Netlist, router: GlobalRouter) -> str:
+    """Serialise routed parasitics as SPEF-like text."""
+    lines = [
+        '*SPEF "IEEE 1481-like"',
+        f'*DESIGN "{netlist.name}"',
+        '*T_UNIT 1 NS',
+        '*C_UNIT 1 PF',
+        '*R_UNIT 1 KOHM',
+    ]
+    by_index = {net.index: net for net in netlist.nets.values()}
+    for net_index in sorted(router.trees):
+        net = by_index[net_index]
+        tree = router.trees[net_index]
+        lines.append(f"*D_NET {net.name} {tree.total_cap():.6g}")
+        lines.append("*CAP")
+        for node in tree.nodes:
+            lines.append(f"{node.index} {node.cap:.6g}")
+        lines.append("*RES")
+        for node in tree.nodes[1:]:
+            lines.append(f"{node.parent} {node.index} {node.res:.6g}")
+        lines.append("*SINKS")
+        for pin_index, tree_node in sorted(tree.sink_node.items()):
+            pin = netlist.pins[pin_index]
+            lines.append(f"{pin.full_name} {tree_node}")
+        lines.append("*END")
+    return "\n".join(lines) + "\n"
+
+
+class SpefParseError(ValueError):
+    """Raised on malformed SPEF text."""
+
+
+def parse_spef(text: str, netlist: Netlist) -> Dict[int, RCTree]:
+    """Parse SPEF written by :func:`write_spef`.
+
+    Returns RC trees keyed by net index (the router's convention), with
+    sink pins re-resolved against ``netlist``.
+    """
+    pin_by_name = {p.full_name: p for p in netlist.pins}
+    trees: Dict[int, RCTree] = {}
+    blocks = re.split(r"\*D_NET ", text)[1:]
+    for block in blocks:
+        header, rest = block.split("\n", 1)
+        net_name = header.split()[0]
+        net = netlist.nets.get(net_name)
+        if net is None:
+            raise SpefParseError(f"net {net_name} not in netlist")
+
+        cap_text = re.search(r"\*CAP\n(.*?)\n\*RES", rest, re.DOTALL)
+        res_text = re.search(r"\*RES\n(.*?)\n\*SINKS", rest, re.DOTALL)
+        sink_text = re.search(r"\*SINKS\n(.*?)\n\*END", rest, re.DOTALL)
+        if not (cap_text and res_text and sink_text):
+            raise SpefParseError(f"net {net_name}: malformed block")
+
+        caps = {}
+        for line in cap_text.group(1).strip().splitlines():
+            idx, cap = line.split()
+            caps[int(idx)] = float(cap)
+
+        tree = RCTree()
+        tree.nodes[0].cap = caps.get(0, 0.0)
+        for line in res_text.group(1).strip().splitlines():
+            parent, idx, res = line.split()
+            node = tree.add_node(int(parent), float(res),
+                                 caps.get(int(idx), 0.0))
+            if node != int(idx):
+                raise SpefParseError(
+                    f"net {net_name}: non-sequential node ids"
+                )
+
+        for line in sink_text.group(1).strip().splitlines():
+            pin_name, node = line.rsplit(" ", 1)
+            pin = pin_by_name.get(pin_name)
+            if pin is None:
+                raise SpefParseError(f"unknown sink pin {pin_name}")
+            # Caps were already lumped at write time; attach without
+            # double-counting the pin capacitance.
+            tree.sink_node[pin.index] = int(node)
+        trees[net.index] = tree
+    return trees

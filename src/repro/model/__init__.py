@@ -1,0 +1,24 @@
+"""The paper's model: extractor, disentanglement, alignment, Bayesian head."""
+
+from .baseline import DAC23Model
+from .bayesian import BayesianReadout, build_prior_feature
+from .cnn import LayoutCNN, masked_path_images
+from .disentangle import Disentangler
+from .extractor import PathFeatureExtractor
+from .gnn import TimingGNN
+from .losses import cmd_loss, node_contrastive_loss
+from .predictor import TimingPredictor
+
+__all__ = [
+    "BayesianReadout",
+    "DAC23Model",
+    "Disentangler",
+    "LayoutCNN",
+    "PathFeatureExtractor",
+    "TimingGNN",
+    "TimingPredictor",
+    "build_prior_feature",
+    "cmd_loss",
+    "masked_path_images",
+    "node_contrastive_loss",
+]

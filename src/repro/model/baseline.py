@@ -1,0 +1,58 @@
+"""The DAC23 baseline model [4]: multimodal extractor + linear readout.
+
+All four baseline strategies in Table 2 train this same architecture;
+they differ only in which data they see and whether the final linear
+layer is shared (see :mod:`repro.train.strategies`).  ``n_heads=2`` gives
+the node-specific heads of the ParamShare strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..flow import DesignData
+from ..nn import Linear, Module, Tensor
+from .extractor import PathFeatureExtractor
+
+
+class DAC23Model(Module):
+    """Restructure-tolerant multimodal predictor with deterministic W.
+
+    Parameters
+    ----------
+    in_features:
+        Pin-graph node feature width.
+    n_heads:
+        Number of final linear readouts (1 normally, 2 for ParamShare:
+        head 0 = source/130nm, head 1 = target/7nm).
+    Other sizes mirror :class:`~repro.model.predictor.TimingPredictor` so
+    runtime comparisons are apples-to-apples.
+    """
+
+    def __init__(self, in_features: int, gnn_hidden: int = 32,
+                 gnn_out: int = 24, cnn_channels: int = 6, cnn_out: int = 8,
+                 n_heads: int = 1, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.extractor = PathFeatureExtractor(
+            in_features, gnn_hidden=gnn_hidden, gnn_out=gnn_out,
+            cnn_channels=cnn_channels, cnn_out=cnn_out, rng=rng,
+        )
+        m = self.extractor.feature_size
+        self.heads = [Linear(m, 1, rng) for _ in range(n_heads)]
+        self.feature_size = m
+
+    def forward(self, design: DesignData,
+                endpoint_subset: Optional[np.ndarray] = None,
+                head: int = 0) -> Tensor:
+        """Predicted arrival times, shape ``(K, 1)``."""
+        u = self.extractor(design, endpoint_subset)
+        return self.heads[head](u)
+
+    def predict(self, design: DesignData,
+                endpoint_subset: Optional[np.ndarray] = None,
+                head: int = 0) -> np.ndarray:
+        """Numpy predictions for evaluation."""
+        return self.forward(design, endpoint_subset, head).data.reshape(-1)

@@ -1,0 +1,66 @@
+"""Layout CNN (the image modality of the path feature extractor).
+
+Consumes the three-channel layout images (cell density, RUDY, macro
+region) masked by each timing path's pin locations, and produces one
+embedding per path.  Architecture is a standard small conv stack with
+global average pooling; the paper's 3x512x512 input is scaled down to
+3x32x32 (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv2d, Linear, Module, Tensor
+from ..nn import functional as F
+
+
+class LayoutCNN(Module):
+    """Small CNN: masked layout images -> path embeddings.
+
+    Parameters
+    ----------
+    in_channels:
+        Image channels (3: density / RUDY / macro).
+    channels:
+        Width of the conv stack.
+    out_features:
+        Embedding size per path.
+    rng:
+        Generator for weight init.
+    """
+
+    def __init__(self, in_channels: int, channels: int, out_features: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, channels, 3, rng, padding=1)
+        self.conv2 = Conv2d(channels, 2 * channels, 3, rng, padding=1)
+        self.conv3 = Conv2d(2 * channels, 2 * channels, 3, rng, padding=1)
+        self.project = Linear(2 * channels, out_features, rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        """``(K, C, R, R)`` masked images -> ``(K, out_features)``."""
+        h = F.max_pool2d(self.conv1(images).relu(), 2)
+        h = F.max_pool2d(self.conv2(h).relu(), 2)
+        h = self.conv3(h).relu()
+        h = F.global_avg_pool2d(h)
+        return self.project(h)
+
+
+def masked_path_images(images: np.ndarray,
+                       cone_masks: np.ndarray) -> np.ndarray:
+    """Apply per-path cone masks to the design's layout images.
+
+    Parameters
+    ----------
+    images:
+        ``(C, R, R)`` design-level layout images.
+    cone_masks:
+        ``(K, R, R)`` binary masks, one per timing path.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(K, C, R, R)`` per-path image stacks.
+    """
+    return images[None, :, :, :] * cone_masks[:, None, :, :]

@@ -1,0 +1,54 @@
+"""Feature disentanglement (Section 3.2, Equation 2).
+
+Two MLP heads split a path feature ``u in R^m`` into equal-sized halves:
+
+- ``u_n = MLP_n(u)``: node-dependent (standard cells, electrical scale);
+  two linear layers with a ReLU between, unbounded range.
+- ``u_d = MLP_d(u)``: design-dependent (logical functionality); same
+  shape plus a final tanh, bounding it to (-1, 1) so the CMD alignment
+  loss has a compact support (Theorem 1 requires one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, concatenate
+
+
+class Disentangler(Module):
+    """Splits path features into node- and design-dependent halves.
+
+    Parameters
+    ----------
+    feature_size:
+        Input width ``m`` (must be even); each head outputs ``m // 2``.
+    hidden:
+        Hidden width of the two MLPs (defaults to ``m``).
+    rng:
+        Generator for weight init.
+    """
+
+    def __init__(self, feature_size: int, hidden: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if feature_size % 2:
+            raise ValueError("feature size must be even")
+        hidden = hidden or feature_size
+        half = feature_size // 2
+        self.mlp_node = MLP([feature_size, hidden, half], rng,
+                            activation="relu")
+        self.mlp_design = MLP([feature_size, hidden, half], rng,
+                              activation="relu", final_activation="tanh")
+        self.half = half
+
+    def forward(self, u: Tensor) -> Tuple[Tensor, Tensor]:
+        """``(K, m) -> ((K, m/2) node, (K, m/2) design)``."""
+        return self.mlp_node(u), self.mlp_design(u)
+
+    def recombine(self, u_node: Tensor, u_design: Tensor) -> Tensor:
+        """``[u_n, u_d]`` concatenation used by the Bayesian readout."""
+        return concatenate([u_node, u_design], axis=1)

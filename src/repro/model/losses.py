@@ -1,0 +1,113 @@
+"""Feature alignment losses (Section 3.3).
+
+- :func:`node_contrastive_loss` — Equations (3)/(4): pull node-dependent
+  features from the same technology node together, push the two nodes
+  apart.  We implement the standard supervised-contrastive form (with the
+  log inside the positive sum, which Equation (3) elides — without the
+  log the quantity is not a proper contrastive objective).
+- :func:`cmd_loss` — Equation (5): Central Moment Discrepancy between the
+  design-dependent feature distributions of the two nodes, with moments
+  up to order 5 on the tanh-bounded interval (-1, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, concatenate
+from ..nn import functional as F
+
+_EPS = 1e-8
+
+
+def _l2_normalize(u: Tensor) -> Tensor:
+    norms = ((u * u).sum(axis=1, keepdims=True) + _EPS) ** 0.5
+    return u / norms
+
+
+def node_contrastive_loss(u_source: Tensor, u_target: Tensor,
+                          temperature: float = 0.5,
+                          normalize: bool = True) -> Tensor:
+    """Node-based supervised contrastive loss over ``u_n`` features.
+
+    Parameters
+    ----------
+    u_source / u_target:
+        Node-dependent features from the source (130nm) and target (7nm)
+        paths in the batch, shapes ``(Ks, d)`` / ``(Kt, d)``.
+    temperature:
+        Softmax temperature tau of Equation (3).
+    normalize:
+        L2-normalise features first (standard practice; keeps the dot
+        products in a stable range).
+
+    Returns
+    -------
+    Tensor
+        Scalar loss: mean anchor loss of the source set plus mean anchor
+        loss of the target set (Equation 4's per-set normalisation).
+    """
+    ks, kt = len(u_source), len(u_target)
+    if ks < 2 or kt < 2:
+        raise ValueError("need at least two paths per node for contrast")
+    features = concatenate([u_source, u_target], axis=0)
+    if normalize:
+        features = _l2_normalize(features)
+    k = ks + kt
+
+    logits = (features @ features.T) * (1.0 / temperature)
+    # Exclude self-similarity from every denominator.
+    self_mask = np.eye(k) * 1e9
+    logits = logits - Tensor(self_mask)
+    log_prob = F.log_softmax(logits, axis=1)
+
+    positives = np.zeros((k, k))
+    positives[:ks, :ks] = 1.0
+    positives[ks:, ks:] = 1.0
+    np.fill_diagonal(positives, 0.0)
+    pos_counts = positives.sum(axis=1, keepdims=True)
+
+    anchor_loss = -(log_prob * Tensor(positives)).sum(axis=1, keepdims=True) \
+        / Tensor(pos_counts)
+    source_mean = anchor_loss[:ks].mean()
+    target_mean = anchor_loss[ks:].mean()
+    return source_mean + target_mean
+
+
+def cmd_loss(u_source: Tensor, u_target: Tensor, max_order: int = 5,
+             bound: float = 1.0) -> Tensor:
+    """Central Moment Discrepancy between two feature sets.
+
+    Parameters
+    ----------
+    u_source / u_target:
+        Design-dependent features of the two nodes, bounded in
+        ``(-bound, bound)`` by the disentangler's tanh.
+    max_order:
+        Highest central moment matched (paper uses 5).
+    bound:
+        Half-width of the support interval ``[a, b] = [-bound, bound]``.
+
+    Returns
+    -------
+    Tensor
+        Scalar CMD value (Equation 5).
+    """
+    if max_order < 1:
+        raise ValueError("max_order must be >= 1")
+    interval = 2.0 * bound  # |b - a|
+
+    mean_s = u_source.mean(axis=0)
+    mean_t = u_target.mean(axis=0)
+    diff = mean_s - mean_t
+    total = ((diff * diff).sum() + _EPS) ** 0.5 * (1.0 / interval)
+
+    centered_s = u_source - mean_s
+    centered_t = u_target - mean_t
+    for order in range(2, max_order + 1):
+        m_s = (centered_s ** float(order)).mean(axis=0)
+        m_t = (centered_t ** float(order)).mean(axis=0)
+        d = m_s - m_t
+        total = total + ((d * d).sum() + _EPS) ** 0.5 \
+            * (1.0 / interval ** order)
+    return total

@@ -1,0 +1,39 @@
+"""Netlist substrate: logic graphs, gate-level netlists, benchmarks, mapping."""
+
+from . import blocks
+from .core import INPUT, OUTPUT, CellInst, Net, Netlist, Pin
+from .designs import (
+    DESIGN_GENERATORS,
+    TEST_SPLIT,
+    TRAIN_SPLIT,
+    make_design,
+)
+from .logic import OP_ARITY, LogicGraph, LogicNode
+from .mapping import TechMapper, map_design
+from .simulate import (
+    GraphSimulator,
+    NetlistSimulator,
+    equivalent_behaviour,
+)
+
+__all__ = [
+    "CellInst",
+    "DESIGN_GENERATORS",
+    "GraphSimulator",
+    "NetlistSimulator",
+    "equivalent_behaviour",
+    "INPUT",
+    "LogicGraph",
+    "LogicNode",
+    "Net",
+    "Netlist",
+    "OP_ARITY",
+    "OUTPUT",
+    "Pin",
+    "TechMapper",
+    "TEST_SPLIT",
+    "TRAIN_SPLIT",
+    "blocks",
+    "make_design",
+    "map_design",
+]

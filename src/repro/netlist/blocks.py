@@ -1,0 +1,275 @@
+"""Parameterised functional blocks for building benchmark logic graphs.
+
+Each block appends gates to a :class:`~repro.netlist.logic.LogicGraph` and
+returns the indices of its output nodes.  The named benchmarks in
+:mod:`repro.netlist.designs` are compositions of these blocks, so every
+benchmark has a recognisable functional identity (datapath vs control vs
+crypto) while remaining fully synthetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .logic import LogicGraph
+
+
+def full_adder(g: LogicGraph, a: int, b: int, cin: int) -> tuple:
+    """One-bit full adder; returns (sum, carry)."""
+    axb = g.add_gate("XOR2", (a, b))
+    s = g.add_gate("XOR2", (axb, cin))
+    ab = g.add_gate("AND2", (a, b))
+    cin_axb = g.add_gate("AND2", (axb, cin))
+    cout = g.add_gate("OR2", (ab, cin_axb))
+    return s, cout
+
+
+def ripple_adder(g: LogicGraph, a: Sequence[int], b: Sequence[int],
+                 cin: Optional[int] = None) -> List[int]:
+    """Ripple-carry adder; returns sum bits then the final carry."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    if cin is None:
+        # Constant-0 carry-in folds to a half adder on the first bit.
+        s0 = g.add_gate("XOR2", (a[0], b[0]))
+        carry = g.add_gate("AND2", (a[0], b[0]))
+        sums = [s0]
+        rest = zip(a[1:], b[1:])
+    else:
+        carry = cin
+        sums = []
+        rest = zip(a, b)
+    for bit_a, bit_b in rest:
+        s, carry = full_adder(g, bit_a, bit_b, carry)
+        sums.append(s)
+    sums.append(carry)
+    return sums
+
+
+def array_multiplier(g: LogicGraph, a: Sequence[int],
+                     b: Sequence[int]) -> List[int]:
+    """Array multiplier: AND partial products accumulated row by row.
+
+    Returns the product bits, LSB first (width ``len(a) + len(b)`` minus
+    any untouched top bit).
+    """
+    acc = [g.add_gate("AND2", (ai, b[0])) for ai in a]
+    for j in range(1, len(b)):
+        row = [g.add_gate("AND2", (ai, b[j])) for ai in a]
+        carry = None
+        for i, pp in enumerate(row):
+            pos = j + i
+            if pos < len(acc):
+                if carry is None:
+                    s = g.add_gate("XOR2", (acc[pos], pp))
+                    carry = g.add_gate("AND2", (acc[pos], pp))
+                else:
+                    s, carry = full_adder(g, acc[pos], pp, carry)
+                acc[pos] = s
+            elif carry is None:
+                acc.append(pp)
+            else:
+                s = g.add_gate("XOR2", (pp, carry))
+                carry = g.add_gate("AND2", (pp, carry))
+                acc.append(s)
+        pos = j + len(row)
+        while carry is not None:
+            if pos < len(acc):
+                s = g.add_gate("XOR2", (acc[pos], carry))
+                carry = g.add_gate("AND2", (acc[pos], carry))
+                acc[pos] = s
+                pos += 1
+            else:
+                acc.append(carry)
+                carry = None
+    return acc
+
+
+def xor_reduce(g: LogicGraph, bits: Sequence[int]) -> int:
+    """Balanced XOR tree (parity); returns the root node."""
+    level = list(bits)
+    if not level:
+        raise ValueError("xor_reduce needs at least one bit")
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(g.add_gate("XOR2", (level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def and_reduce(g: LogicGraph, bits: Sequence[int]) -> int:
+    """Balanced AND tree; returns the root node."""
+    level = list(bits)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(g.add_gate("AND2", (level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def or_reduce(g: LogicGraph, bits: Sequence[int]) -> int:
+    """Balanced OR tree; returns the root node."""
+    level = list(bits)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(g.add_gate("OR2", (level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def mux_word(g: LogicGraph, select: int, a: Sequence[int],
+             b: Sequence[int]) -> List[int]:
+    """Word-wide 2:1 mux: out = select ? a : b."""
+    return [g.add_gate("MUX2", (select, x, y)) for x, y in zip(a, b)]
+
+
+def barrel_rotate(g: LogicGraph, word: Sequence[int], amount: int) -> List[int]:
+    """Static left-rotation of ``word`` by ``amount`` (pure rewiring)."""
+    n = len(word)
+    amount %= n
+    return list(word[-amount:]) + list(word[:-amount]) if amount else list(word)
+
+
+def barrel_shifter(g: LogicGraph, word: Sequence[int],
+                   shift_sel: Sequence[int]) -> List[int]:
+    """Dynamic barrel rotator: one mux level per select bit."""
+    current = list(word)
+    for level, sel in enumerate(shift_sel):
+        rotated = barrel_rotate(g, current, 1 << level)
+        current = mux_word(g, sel, rotated, current)
+    return current
+
+
+def decoder(g: LogicGraph, select: Sequence[int]) -> List[int]:
+    """n-to-2^n one-hot decoder."""
+    inverted = [g.add_gate("INV", (s,)) for s in select]
+    outputs = []
+    for code in range(1 << len(select)):
+        terms = [select[i] if (code >> i) & 1 else inverted[i]
+                 for i in range(len(select))]
+        outputs.append(and_reduce(g, terms))
+    return outputs
+
+
+def equality_comparator(g: LogicGraph, a: Sequence[int],
+                        b: Sequence[int]) -> int:
+    """Single-bit ``a == b``."""
+    diffs = [g.add_gate("XNOR2", (x, y)) for x, y in zip(a, b)]
+    return and_reduce(g, diffs)
+
+
+def random_logic_cone(g: LogicGraph, inputs: Sequence[int], n_gates: int,
+                      rng: np.random.Generator,
+                      ops: Sequence[str] = ("NAND2", "NOR2", "XOR2", "AND2",
+                                            "OR2", "AOI21", "OAI21", "MUX2",
+                                            "INV")) -> List[int]:
+    """Grow a random combinational DAG over ``inputs``.
+
+    Later gates prefer recent gates as fanin, giving realistic logarithmic
+    depth growth.  Returns the gate nodes with zero internal fanout (the
+    cone tips).
+    """
+    from .logic import OP_ARITY
+
+    pool = list(inputs)
+    created = []
+    used = set()
+    for _ in range(n_gates):
+        op = ops[rng.integers(len(ops))]
+        arity = OP_ARITY[op]
+        # Bias toward the most recently created nodes.
+        weights = np.arange(1, len(pool) + 1, dtype=float)
+        weights /= weights.sum()
+        fanin = rng.choice(len(pool), size=arity, replace=False if
+                           arity <= len(pool) else True, p=weights)
+        nodes = [pool[i] for i in np.atleast_1d(fanin)]
+        node = g.add_gate(op, nodes)
+        created.append(node)
+        used.update(nodes)
+        pool.append(node)
+    return [n for n in created if n not in used] or created[-1:]
+
+
+def register_word(g: LogicGraph, word: Sequence[int]) -> List[int]:
+    """Register every bit of ``word`` (one pipeline stage)."""
+    return [g.add_register(bit) for bit in word]
+
+
+def lfsr(g: LogicGraph, seed_bits: Sequence[int],
+         taps: Sequence[int]) -> List[int]:
+    """One unrolled LFSR step: shift left, feed back XOR of taps.
+
+    ``seed_bits`` is the current state (combinational nodes); returns the
+    next state *registered*.
+    """
+    feedback = xor_reduce(g, [seed_bits[t] for t in taps])
+    next_state = [feedback] + list(seed_bits[:-1])
+    return register_word(g, next_state)
+
+
+def crc_step(g: LogicGraph, state: Sequence[int],
+             data_bit: int, taps: Sequence[int]) -> List[int]:
+    """One CRC shift step with a serial data input (combinational)."""
+    feedback = g.add_gate("XOR2", (state[-1], data_bit))
+    next_state = [feedback]
+    for i in range(len(state) - 1):
+        if (i + 1) in taps:
+            next_state.append(g.add_gate("XOR2", (state[i], feedback)))
+        else:
+            next_state.append(state[i])
+    return next_state
+
+
+def fsm(g: LogicGraph, state_bits: int, inputs: Sequence[int],
+        rng: np.random.Generator) -> List[int]:
+    """A random Moore FSM with true state feedback.
+
+    State registers are declared as placeholders, the next-state logic is
+    grown over the current state and the inputs, and the feedback loop is
+    then closed.  Returns the state register nodes.
+    """
+    state = [g.add_register_placeholder() for _ in range(state_bits)]
+    cone_inputs = list(state) + list(inputs)
+    for reg in state:
+        tips = random_logic_cone(g, cone_inputs, int(rng.integers(3, 8)), rng)
+        g.connect_register(reg, tips[0])
+    return state
+
+
+def shift_register(g: LogicGraph, data_in: Sequence[int],
+                   load: int) -> List[int]:
+    """A parallel-load shift register with real feedback.
+
+    ``out[i]`` shifts from ``out[i-1]`` (serial path) unless ``load`` is
+    asserted, in which case ``data_in`` is loaded.  Returns the register
+    nodes, LSB first.
+    """
+    regs = [g.add_register_placeholder() for _ in data_in]
+    prev = regs[-1]
+    for i, reg in enumerate(regs):
+        nxt = g.add_gate("MUX2", (load, data_in[i], prev))
+        g.connect_register(reg, nxt)
+        prev = reg
+    return regs
+
+
+def counter(g: LogicGraph, width: int, enable: int) -> List[int]:
+    """A binary up-counter with feedback: state += enable each cycle."""
+    regs = [g.add_register_placeholder() for _ in range(width)]
+    carry = enable
+    for reg in regs:
+        s = g.add_gate("XOR2", (reg, carry))
+        carry = g.add_gate("AND2", (reg, carry))
+        g.connect_register(reg, s)
+    return regs

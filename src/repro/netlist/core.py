@@ -1,0 +1,351 @@
+"""Gate-level netlist data structures.
+
+A :class:`Netlist` is the technology-mapped form of a design: instances of
+library :class:`~repro.techlib.StandardCell`s connected by nets.  It is the
+object every downstream stage operates on — placement annotates cell
+locations, optimization restructures it, routing attaches parasitics, and
+STA walks its pin graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..techlib import StandardCell, TechLibrary
+
+#: Pin directions.
+INPUT, OUTPUT = "input", "output"
+
+
+@dataclass
+class Pin:
+    """A pin: either a cell pin or a top-level port.
+
+    ``cell`` is None for ports.  ``x``/``y`` are filled in by placement
+    (ports get locations at floorplanning).
+    """
+
+    index: int
+    name: str
+    direction: str
+    cell: Optional["CellInst"] = None
+    net: Optional["Net"] = None
+    x: float = 0.0
+    y: float = 0.0
+
+    @property
+    def is_port(self) -> bool:
+        return self.cell is None
+
+    @property
+    def full_name(self) -> str:
+        if self.cell is None:
+            return self.name
+        return f"{self.cell.name}/{self.name}"
+
+    @property
+    def cap(self) -> float:
+        """Input capacitance presented by this pin (0 for outputs/ports)."""
+        if self.cell is None or self.direction == OUTPUT:
+            return 0.0
+        return self.cell.ref.input_cap(self.name)
+
+    def __repr__(self) -> str:
+        return f"Pin({self.full_name})"
+
+
+@dataclass
+class Net:
+    """A net: one driver pin and any number of sink pins."""
+
+    index: int
+    name: str
+    driver: Optional[Pin] = None
+    sinks: List[Pin] = field(default_factory=list)
+    is_clock: bool = False
+
+    @property
+    def pins(self) -> List[Pin]:
+        return ([self.driver] if self.driver else []) + self.sinks
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def total_sink_cap(self) -> float:
+        """Sum of sink pin capacitances (pF)."""
+        return sum(p.cap for p in self.sinks)
+
+    def __repr__(self) -> str:
+        return f"Net({self.name}, fanout={self.fanout})"
+
+
+class CellInst:
+    """An instance of a standard cell in a netlist."""
+
+    __slots__ = ("name", "ref", "pins", "x", "y", "index")
+
+    def __init__(self, index: int, name: str, ref: StandardCell) -> None:
+        self.index = index
+        self.name = name
+        self.ref = ref
+        self.pins: Dict[str, Pin] = {}
+        self.x = 0.0
+        self.y = 0.0
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.ref.is_sequential
+
+    @property
+    def area(self) -> float:
+        return self.ref.area
+
+    @property
+    def output_pin(self) -> Pin:
+        return self.pins[self.ref.output_pin]
+
+    @property
+    def input_pins(self) -> List[Pin]:
+        return [self.pins[n] for n in self.ref.input_pins if n in self.pins]
+
+    def __repr__(self) -> str:
+        return f"CellInst({self.name}:{self.ref.name})"
+
+
+class Netlist:
+    """A mapped gate-level netlist bound to a technology library.
+
+    The netlist keeps pins in a flat indexed list so that later stages
+    (feature encoding, STA) can use numpy arrays keyed by pin index.
+    Structure-mutating helpers (:meth:`add_cell`, :meth:`connect`,
+    :meth:`disconnect`) keep driver/sink bookkeeping consistent.
+    """
+
+    def __init__(self, name: str, library: TechLibrary) -> None:
+        self.name = name
+        self.library = library
+        self.cells: Dict[str, CellInst] = {}
+        self.nets: Dict[str, Net] = {}
+        self.pins: List[Pin] = []
+        self.ports: Dict[str, Pin] = {}
+        self._uid = 0
+        # Monotonic counters: indexes stay unique across removals.
+        self._next_net_index = 0
+        self._next_cell_index = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        self._uid += 1
+        return f"{prefix}_{self._uid}"
+
+    def _new_pin(self, name: str, direction: str,
+                 cell: Optional[CellInst] = None) -> Pin:
+        pin = Pin(len(self.pins), name, direction, cell)
+        self.pins.append(pin)
+        return pin
+
+    def add_port(self, name: str, direction: str) -> Pin:
+        """Add a top-level port.
+
+        An ``input`` port *drives* logic, so its pin direction is OUTPUT
+        from the netlist-graph point of view; we keep the user-facing
+        direction in the port table and flip it internally.
+        """
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name}")
+        pin_dir = OUTPUT if direction == INPUT else INPUT
+        pin = self._new_pin(name, pin_dir)
+        self.ports[name] = pin
+        return pin
+
+    def add_cell(self, ref: StandardCell, name: Optional[str] = None) -> CellInst:
+        """Instantiate ``ref``; all pins are created unconnected."""
+        name = name or self._fresh_name(ref.function.lower())
+        if name in self.cells:
+            raise ValueError(f"duplicate cell {name}")
+        inst = CellInst(self._next_cell_index, name, ref)
+        self._next_cell_index += 1
+        for pin_name in ref.input_pins:
+            inst.pins[pin_name] = self._new_pin(pin_name, INPUT, inst)
+        inst.pins[ref.output_pin] = self._new_pin(ref.output_pin, OUTPUT, inst)
+        self.cells[name] = inst
+        return inst
+
+    def add_net(self, name: Optional[str] = None, is_clock: bool = False) -> Net:
+        name = name or self._fresh_name("net")
+        if name in self.nets:
+            raise ValueError(f"duplicate net {name}")
+        net = Net(self._next_net_index, name, is_clock=is_clock)
+        self._next_net_index += 1
+        self.nets[name] = net
+        return net
+
+    def connect(self, net: Net, pin: Pin) -> None:
+        """Attach ``pin`` to ``net`` as driver or sink by direction."""
+        if pin.net is not None:
+            raise ValueError(f"{pin.full_name} already connected to {pin.net.name}")
+        if pin.direction == OUTPUT:
+            if net.driver is not None:
+                raise ValueError(f"net {net.name} already has a driver")
+            net.driver = pin
+        else:
+            net.sinks.append(pin)
+        pin.net = net
+
+    def disconnect(self, pin: Pin) -> None:
+        """Detach ``pin`` from its net (no-op if unconnected)."""
+        net = pin.net
+        if net is None:
+            return
+        if net.driver is pin:
+            net.driver = None
+        else:
+            net.sinks.remove(pin)
+        pin.net = None
+
+    def remove_cell(self, inst: CellInst) -> None:
+        """Delete a cell instance, disconnecting all its pins."""
+        for pin in list(inst.pins.values()):
+            self.disconnect(pin)
+        del self.cells[inst.name]
+
+    def remove_net(self, net: Net) -> None:
+        """Delete a net; it must have no remaining connections."""
+        if net.driver is not None or net.sinks:
+            raise ValueError(f"net {net.name} still has connections")
+        del self.nets[net.name]
+
+    def remove_port(self, name: str) -> None:
+        """Delete a top-level port, disconnecting it first."""
+        pin = self.ports.pop(name)
+        self.disconnect(pin)
+
+    def sweep_dangling(self) -> int:
+        """Remove logic whose output drives nothing (dead-code sweep).
+
+        Mapping and optimization can truncate arithmetic or bypass gates,
+        leaving cells whose output nets have no sinks.  Synthesis tools
+        sweep these; so do we.  Returns the number of cells removed.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for net in list(self.nets.values()):
+                if net.is_clock or net.sinks:
+                    continue
+                driver = net.driver
+                if driver is None:
+                    self.remove_net(net)
+                    changed = True
+                    continue
+                if driver.is_port:
+                    # Unused primary input: drop the port and its net.
+                    self.remove_port(driver.name)
+                    self.remove_net(net)
+                else:
+                    self.remove_cell(driver.cell)
+                    removed += 1
+                    self.remove_net(net)
+                changed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def primary_inputs(self) -> List[Pin]:
+        """Port pins that drive logic (netlist inputs), clock excluded."""
+        return [p for p in self.ports.values()
+                if p.direction == OUTPUT
+                and not (p.net is not None and p.net.is_clock)]
+
+    @property
+    def primary_outputs(self) -> List[Pin]:
+        """Port pins that sink logic (netlist outputs)."""
+        return [p for p in self.ports.values() if p.direction == INPUT]
+
+    @property
+    def sequential_cells(self) -> List[CellInst]:
+        return [c for c in self.cells.values() if c.is_sequential]
+
+    @property
+    def combinational_cells(self) -> List[CellInst]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def timing_endpoints(self) -> List[Pin]:
+        """Endpoints of timing paths: flop D pins plus primary outputs.
+
+        The paper predicts arrival time at these pins; they are stable
+        under timing optimization (restructuring never removes them).
+        """
+        endpoints = [c.pins["D"] for c in self.sequential_cells
+                     if "D" in c.pins]
+        endpoints.extend(self.primary_outputs)
+        return endpoints
+
+    def timing_startpoints(self) -> List[Pin]:
+        """Startpoints: primary inputs plus flop Q pins."""
+        starts = list(self.primary_inputs)
+        starts.extend(c.output_pin for c in self.sequential_cells)
+        return starts
+
+    def net_edges(self) -> Iterator[Tuple[Pin, Pin]]:
+        """Yield (driver, sink) pairs for every net (paper's net edges)."""
+        for net in self.nets.values():
+            if net.driver is None or net.is_clock:
+                continue
+            for sink in net.sinks:
+                yield net.driver, sink
+
+    def cell_edges(self) -> Iterator[Tuple[Pin, Pin]]:
+        """Yield (input pin, output pin) pairs through combinational cells.
+
+        Sequential cells contribute no cell edge: their D pin is a timing
+        endpoint and their Q pin a startpoint, so the timing graph (and the
+        GNN that mimics it) does not traverse them.
+        """
+        for cell in self.cells.values():
+            if cell.is_sequential:
+                continue
+            out = cell.output_pin
+            for pin in cell.input_pins:
+                yield pin, out
+
+    def total_cell_area(self) -> float:
+        return sum(c.area for c in self.cells.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Table-1 style statistics for this netlist."""
+        return {
+            "pins": len([p for p in self.pins if p.net is not None]),
+            "endpoints": len(self.timing_endpoints()),
+            "net_edges": sum(1 for _ in self.net_edges()),
+            "cell_edges": sum(1 for _ in self.cell_edges()),
+            "cells": len(self.cells),
+            "nets": len(self.nets),
+        }
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on dangling connectivity.
+
+        Every net must have a driver and at least one sink; every cell
+        input pin must be connected.
+        """
+        for net in self.nets.values():
+            if net.driver is None:
+                raise ValueError(f"net {net.name} has no driver")
+            if not net.sinks:
+                raise ValueError(f"net {net.name} has no sinks")
+        for cell in self.cells.values():
+            for pin in cell.input_pins:
+                if pin.net is None:
+                    raise ValueError(f"{pin.full_name} is unconnected")
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name}@{self.library.name}, "
+                f"{len(self.cells)} cells, {len(self.nets)} nets)")

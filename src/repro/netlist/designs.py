@@ -1,0 +1,405 @@
+"""Synthetic versions of the paper's benchmark designs (Table 1).
+
+The real benchmarks come from Freecores and Chipyard RTL that we cannot
+synthesise offline.  Each generator below builds a logic graph with the
+same *functional character* as its namesake (CPU datapath, JPEG-style DCT
+arithmetic, crypto rounds, serial protocol FSMs, ...) at a scale that a
+numpy training stack can handle.  Relative sizes follow Table 1: jpeg is
+the largest training design, hwacha/or1200 are the largest test designs,
+usbf_device/spiMaster are small.
+
+Every generator accepts a ``scale`` multiplier so experiments can grow or
+shrink the whole dataset coherently, and a seed so graphs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from . import blocks
+from .logic import LogicGraph
+
+
+def _word(g: LogicGraph, name: str, width: int) -> List[int]:
+    return [g.add_input(f"{name}[{i}]") for i in range(width)]
+
+
+def _mark_word(g: LogicGraph, nodes: List[int], name: str) -> None:
+    for i, node in enumerate(nodes):
+        g.mark_output(node, f"{name}[{i}]")
+
+
+def _scaled(base: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(round(base * scale)))
+
+
+def make_arm9(scale: float = 1.0, seed: int = 9) -> LogicGraph:
+    """A small in-order CPU slice: decode, ALU, shifter, writeback regs."""
+    rng = np.random.default_rng(seed)
+    g = LogicGraph("arm9")
+    width = _scaled(8, scale)
+    op_a = _word(g, "ra", width)
+    op_b = _word(g, "rb", width)
+    opcode = _word(g, "opcode", 3)
+    shamt = _word(g, "shamt", 3)
+
+    # Decode: one-hot operation select.
+    onehot = blocks.decoder(g, opcode)
+    # ALU lanes.
+    add = blocks.ripple_adder(g, op_a, op_b)[:width]
+    logic_and = [g.add_gate("AND2", (x, y)) for x, y in zip(op_a, op_b)]
+    logic_xor = [g.add_gate("XOR2", (x, y)) for x, y in zip(op_a, op_b)]
+    shifted = blocks.barrel_shifter(g, op_a, shamt)
+    # Result mux chain driven by decoded selects.
+    result = blocks.mux_word(g, onehot[0], add, logic_and)
+    result = blocks.mux_word(g, onehot[1], logic_xor, result)
+    result = blocks.mux_word(g, onehot[2], shifted, result)
+    # Flags.
+    zero = g.add_gate("INV", (blocks.or_reduce(g, result),))
+    parity = blocks.xor_reduce(g, result)
+    # Writeback pipeline: two register stages.
+    stage1 = blocks.register_word(g, result + [zero, parity])
+    stage2 = blocks.register_word(g, stage1)
+    _mark_word(g, stage2, "wb")
+    # Control FSM.
+    state = blocks.fsm(g, _scaled(4, scale), opcode + [zero], rng)
+    _mark_word(g, state, "ctrl")
+    g.validate()
+    return g
+
+
+def make_chacha(scale: float = 1.0, seed: int = 20) -> LogicGraph:
+    """ChaCha-like quarter-round datapath: add/xor/rotate lanes."""
+    g = LogicGraph("chacha")
+    width = _scaled(8, scale)
+    a = _word(g, "a", width)
+    b = _word(g, "b", width)
+    c = _word(g, "c", width)
+    d = _word(g, "d", width)
+
+    def quarter(a, b, c, d, r1, r2):
+        a = blocks.ripple_adder(g, a, b)[:len(a)]
+        d = [g.add_gate("XOR2", (x, y)) for x, y in zip(d, a)]
+        d = blocks.barrel_rotate(g, d, r1)
+        c = blocks.ripple_adder(g, c, d)[:len(c)]
+        b = [g.add_gate("XOR2", (x, y)) for x, y in zip(b, c)]
+        b = blocks.barrel_rotate(g, b, r2)
+        return a, b, c, d
+
+    a, b, c, d = quarter(a, b, c, d, 3, 2)
+    a, b, c, d = quarter(a, b, c, d, 5, 1)
+    # Register the state between double rounds, as hardware does.
+    a = blocks.register_word(g, a)
+    b = blocks.register_word(g, b)
+    c = blocks.register_word(g, c)
+    d = blocks.register_word(g, d)
+    a, b, c, d = quarter(a, b, c, d, 4, 3)
+    out = blocks.register_word(g, a + b + c + d)
+    _mark_word(g, out, "state")
+    g.validate()
+    return g
+
+
+def make_hwacha(scale: float = 1.0, seed: int = 30) -> LogicGraph:
+    """Vector-unit-like design: several MAC lanes plus a reduction tree."""
+    g = LogicGraph("hwacha")
+    width = _scaled(6, scale)
+    lanes = _scaled(4, scale)
+    lane_outputs = []
+    for lane in range(lanes):
+        x = _word(g, f"x{lane}", width)
+        y = _word(g, f"y{lane}", width)
+        acc = _word(g, f"acc{lane}", 2 * width)
+        prod = blocks.array_multiplier(g, x, y)[:2 * width]
+        mac = blocks.ripple_adder(g, prod, acc)[:2 * width]
+        lane_outputs.append(blocks.register_word(g, mac))
+    # Cross-lane reduction.
+    total = lane_outputs[0]
+    for lane_out in lane_outputs[1:]:
+        total = blocks.ripple_adder(g, total, lane_out)[:len(total)]
+    out = blocks.register_word(g, total)
+    _mark_word(g, out, "sum")
+    for lane, lane_out in enumerate(lane_outputs):
+        _mark_word(g, lane_out[:2], f"lane{lane}")
+    g.validate()
+    return g
+
+
+def make_or1200(scale: float = 1.0, seed: int = 40) -> LogicGraph:
+    """OR1200-like CPU: wide register state, ALU, compare, random control.
+
+    This is the endpoint-heaviest benchmark, matching Table 1 where
+    or1200 has by far the most endpoints relative to its pin count.
+    """
+    rng = np.random.default_rng(seed)
+    g = LogicGraph("or1200")
+    width = _scaled(8, scale)
+    n_regs = _scaled(24, scale)
+    a = _word(g, "opa", width)
+    b = _word(g, "opb", width)
+    sel = _word(g, "sel", 3)
+
+    add = blocks.ripple_adder(g, a, b)[:width]
+    sub_b = [g.add_gate("INV", (x,)) for x in b]
+    sub = blocks.ripple_adder(g, a, sub_b)[:width]
+    eq = blocks.equality_comparator(g, a, b)
+    onehot = blocks.decoder(g, sel)
+    result = blocks.mux_word(g, onehot[0], add, sub)
+    # A big architectural register file: each register is an endpoint-rich
+    # word that loads either the ALU result or holds via a feedback mux.
+    reg_words = []
+    for r in range(n_regs):
+        hold = blocks.mux_word(g, onehot[r % len(onehot)], result,
+                               blocks.barrel_rotate(g, result, r % width))
+        reg_words.append(blocks.register_word(g, hold))
+    # Forwarding network reads two random registers back into a cone.
+    picks = rng.choice(n_regs, size=2, replace=False)
+    fwd = [g.add_gate("XOR2", (x, y)) for x, y in
+           zip(reg_words[picks[0]], reg_words[picks[1]])]
+    flags = blocks.register_word(g, [eq, blocks.xor_reduce(g, fwd)])
+    _mark_word(g, flags, "flags")
+    # The whole architectural register file is observable, which makes
+    # or1200 the endpoint-heaviest benchmark (as in Table 1).
+    for r, word in enumerate(reg_words):
+        _mark_word(g, word, f"r{r}")
+    g.validate()
+    return g
+
+
+def make_sha3(scale: float = 1.0, seed: int = 50) -> LogicGraph:
+    """Keccak-like round slice: theta parity, rho rotations, chi nonlinear."""
+    g = LogicGraph("sha3")
+    lanes = 5
+    width = _scaled(12, scale)
+    state = [_word(g, f"lane{i}", width) for i in range(lanes)]
+    # Theta: parity of all lanes, mixed back into each lane.
+    parity = [blocks.xor_reduce(g, [state[i][k] for i in range(lanes)])
+              for k in range(width)]
+    theta = []
+    for i in range(lanes):
+        mixed = [g.add_gate("XOR2", (state[i][k],
+                                     parity[(k + 1) % width]))
+                 for k in range(width)]
+        theta.append(mixed)
+    # Rho: per-lane rotation.
+    rho = [blocks.barrel_rotate(g, theta[i], (i * 3) % width)
+           for i in range(lanes)]
+    # Chi: lane[i] ^= ~lane[i+1] & lane[i+2].
+    chi = []
+    for i in range(lanes):
+        nxt = rho[(i + 1) % lanes]
+        nxt2 = rho[(i + 2) % lanes]
+        lane = []
+        for k in range(width):
+            inv = g.add_gate("INV", (nxt[k],))
+            andg = g.add_gate("AND2", (inv, nxt2[k]))
+            lane.append(g.add_gate("XOR2", (rho[i][k], andg)))
+        chi.append(lane)
+    regs = [blocks.register_word(g, lane) for lane in chi]
+    # Second round on registered state keeps depth interesting.
+    parity2 = [blocks.xor_reduce(g, [regs[i][k] for i in range(lanes)])
+               for k in range(width)]
+    out = blocks.register_word(g, parity2)
+    _mark_word(g, out, "digest")
+    for i in range(lanes):
+        _mark_word(g, regs[i][:1], f"s{i}")
+    g.validate()
+    return g
+
+
+def make_smallboom(scale: float = 1.0, seed: int = 60) -> LogicGraph:
+    """BOOM-like out-of-order slice: issue select, ALUs, ROB, bypass.
+
+    This is the only 7nm *training* design; in the paper's Table 1 it is
+    among the largest benchmarks (61k endpoints), anchoring the target
+    node's arrival-time scale.  We keep that proportion: a reorder
+    buffer of architecturally visible registers makes it the
+    endpoint-richest training design.
+    """
+    rng = np.random.default_rng(seed)
+    g = LogicGraph("smallboom")
+    width = _scaled(8, scale)
+    rob_entries = _scaled(7, scale)
+    a0 = _word(g, "a0", width)
+    b0 = _word(g, "b0", width)
+    a1 = _word(g, "a1", width)
+    b1 = _word(g, "b1", width)
+    grant = _word(g, "grant", 2)
+    wsel = _word(g, "wsel", 3)
+
+    alu0 = blocks.ripple_adder(g, a0, b0)[:width]
+    alu1 = [g.add_gate("XOR2", (x, y)) for x, y in zip(a1, b1)]
+    sub_b = [g.add_gate("INV", (x,)) for x in b1]
+    alu2 = blocks.ripple_adder(g, a1, sub_b)[:width]
+    # Issue select: grant picks which result goes to the bypass network.
+    sel0 = blocks.mux_word(g, grant[0], alu0, alu1)
+    sel1 = blocks.mux_word(g, grant[1], alu2, sel0)
+    bypass = [g.add_gate("XOR2", (x, y)) for x, y in zip(sel1, alu2)]
+    # In-flight instruction tags: random control cones per issue slot
+    # (speculation/recovery logic — BOOM-flavoured, not a register file).
+    tag_regs = []
+    for entry in range(rob_entries):
+        tips = blocks.random_logic_cone(
+            g, sel1 + wsel + grant, int(rng.integers(6, 14)), rng
+        )
+        word = blocks.register_word(g, tips[:1] + bypass[: width // 2])
+        tag_regs.append(word)
+        _mark_word(g, word, f"slot{entry}")
+    # Commit pipeline.
+    s1 = blocks.register_word(g, sel1 + bypass)
+    s2 = blocks.register_word(g, s1[:width])
+    _mark_word(g, s2, "commit")
+    state = blocks.fsm(g, _scaled(5, scale), grant + [s1[0]], rng)
+    _mark_word(g, state, "rob_state")
+    g.validate()
+    return g
+
+
+def make_jpeg(scale: float = 1.0, seed: int = 70) -> LogicGraph:
+    """JPEG-encoder-like datapath: DCT butterfly MACs and quantiser muxes.
+
+    The largest training design (as in Table 1).
+    """
+    g = LogicGraph("jpeg")
+    width = _scaled(6, scale)
+    taps = _scaled(4, scale)
+    pixel_words = [_word(g, f"px{i}", width) for i in range(taps)]
+    coef_words = [_word(g, f"co{i}", width) for i in range(taps)]
+    # DCT-ish MAC array: multiply each pixel by a coefficient and reduce.
+    products = []
+    for px, co in zip(pixel_words, coef_words):
+        products.append(blocks.array_multiplier(g, px, co)[:2 * width])
+    total = products[0]
+    for p in products[1:]:
+        total = blocks.ripple_adder(g, total, p)[:2 * width]
+    dct = blocks.register_word(g, total)
+    # Butterfly second stage: sums and differences of rotated copies.
+    rot = blocks.barrel_rotate(g, dct, 3)
+    sums = blocks.ripple_adder(g, dct, rot)[:2 * width]
+    inv_rot = [g.add_gate("INV", (x,)) for x in rot]
+    diff = blocks.ripple_adder(g, dct, inv_rot)[:2 * width]
+    # Quantiser: pick sums or diffs by comparator.
+    bigger = blocks.equality_comparator(g, sums[:width], diff[:width])
+    quant = blocks.mux_word(g, bigger, sums, diff)
+    stage = blocks.register_word(g, quant)
+    # Zig-zag/entropy stub: parity trees as a compression proxy.
+    entropy = [blocks.xor_reduce(g, stage[i::4]) for i in range(4)]
+    out = blocks.register_word(g, entropy)
+    _mark_word(g, out, "bits")
+    _mark_word(g, stage[:4], "q")
+    g.validate()
+    return g
+
+
+def make_linkruncca(scale: float = 1.0, seed: int = 80) -> LogicGraph:
+    """Connected-component-analysis-like design: comparators and mux merge."""
+    g = LogicGraph("linkruncca")
+    width = _scaled(7, scale)
+    n_labels = _scaled(4, scale)
+    labels = [_word(g, f"label{i}", width) for i in range(n_labels)]
+    pixel = _word(g, "pixel", width)
+    # Merge network: compare each label against the pixel, keep the match.
+    current = labels[0]
+    for i in range(1, n_labels):
+        eq = blocks.equality_comparator(g, labels[i], pixel)
+        current = blocks.mux_word(g, eq, labels[i], current)
+    merged = blocks.register_word(g, current)
+    # Run-length counter: increment-by-one adder on the registered value.
+    one_hot_lsb = [g.add_gate("XNOR2", (merged[0], merged[0]))]  # const-1 proxy
+    inc_b = one_hot_lsb + [g.add_gate("XOR2", (merged[0], merged[0]))
+                           for _ in range(width - 1)]  # const-0 proxies
+    count = blocks.ripple_adder(g, merged, inc_b)[:width]
+    out = blocks.register_word(g, count)
+    _mark_word(g, out, "run")
+    _mark_word(g, merged[:2], "label_out")
+    g.validate()
+    return g
+
+
+def make_spi_master(scale: float = 1.0, seed: int = 90) -> LogicGraph:
+    """SPI-master-like serial controller: FSM + shift register + divider."""
+    rng = np.random.default_rng(seed)
+    g = LogicGraph("spiMaster")
+    width = _scaled(12, scale)
+    data = _word(g, "tx_data", width)
+    ctrl = _word(g, "ctrl", 3)
+    # Serialiser: a real parallel-load shift register with feedback.
+    load = ctrl[0]
+    shreg = blocks.shift_register(g, data, load)
+    # Clock divider: a feedback up-counter gated by the enable control.
+    div_regs = blocks.counter(g, _scaled(6, scale), ctrl[1])
+    baud = blocks.and_reduce(g, div_regs)
+    # Protocol FSM.
+    state = blocks.fsm(g, _scaled(4, scale), ctrl + [shreg[0], baud], rng)
+    _mark_word(g, [shreg[-1]], "mosi")
+    _mark_word(g, [baud], "sclk")
+    _mark_word(g, shreg, "tx_shadow")
+    _mark_word(g, state, "spi_state")
+    g.validate()
+    return g
+
+
+def make_usbf_device(scale: float = 1.0, seed: int = 100) -> LogicGraph:
+    """USB-function-like design: CRC5/CRC16 datapath + protocol FSM."""
+    rng = np.random.default_rng(seed)
+    g = LogicGraph("usbf_device")
+    data = _word(g, "rx", 8)
+    ctrl = _word(g, "pid", 2)
+    # CRC16 over the byte, unrolled bit-serially.
+    state = list(data) + [g.add_gate("INV", (d,)) for d in data]
+    for bit in range(_scaled(8, scale)):
+        state = blocks.crc_step(g, state, data[bit % 8], taps=(5, 12))
+    crc_regs = blocks.register_word(g, state[:8])
+    # Token decode + handshake FSM.
+    onehot = blocks.decoder(g, ctrl)
+    token = blocks.mux_word(g, onehot[0], crc_regs, data)
+    fsm_state = blocks.fsm(g, _scaled(3, scale), ctrl + [token[0]], rng)
+    _mark_word(g, crc_regs[:2], "crc")
+    _mark_word(g, fsm_state, "usb_state")
+    g.validate()
+    return g
+
+
+#: Registry of all benchmark generators, keyed by the paper's design names.
+DESIGN_GENERATORS: Dict[str, Callable[..., LogicGraph]] = {
+    "arm9": make_arm9,
+    "chacha": make_chacha,
+    "hwacha": make_hwacha,
+    "or1200": make_or1200,
+    "sha3": make_sha3,
+    "smallboom": make_smallboom,
+    "jpeg": make_jpeg,
+    "linkruncca": make_linkruncca,
+    "spiMaster": make_spi_master,
+    "usbf_device": make_usbf_device,
+}
+
+#: The paper's dataset split (Table 1): design name -> technology node.
+TRAIN_SPLIT = {
+    "smallboom": "7nm",
+    "jpeg": "130nm",
+    "linkruncca": "130nm",
+    "spiMaster": "130nm",
+    "usbf_device": "130nm",
+}
+TEST_SPLIT = {
+    "arm9": "7nm",
+    "chacha": "7nm",
+    "hwacha": "7nm",
+    "or1200": "7nm",
+    "sha3": "7nm",
+}
+
+
+def make_design(name: str, scale: float = 1.0) -> LogicGraph:
+    """Build a named benchmark logic graph."""
+    try:
+        generator = DESIGN_GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; choose from "
+            f"{sorted(DESIGN_GENERATORS)}"
+        ) from None
+    return generator(scale=scale)

@@ -1,0 +1,232 @@
+"""Technology-independent logic graphs.
+
+A :class:`LogicGraph` captures the *design-dependent* information of the
+paper's Figure 4: the functionality of a design, independent of any
+technology node.  The same logic graph mapped onto two different libraries
+produces two different gate-level netlists that share their functionality —
+exactly the invariance the paper's design-dependent features must learn.
+
+Nodes are generic operators from :data:`repro.techlib.GENERIC_FUNCTIONS`
+(plus ``INPUT`` and register nodes).  Registers (``DFF``) cut combinational
+cycles; the combinational portion of the graph must be acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Number of data inputs each generic operator expects.
+OP_ARITY = {
+    "INPUT": 0,
+    "CONST0": 0,
+    "CONST1": 0,
+    "INV": 1,
+    "BUF": 1,
+    "NAND2": 2,
+    "NAND3": 3,
+    "NOR2": 2,
+    "NOR3": 3,
+    "AND2": 2,
+    "OR2": 2,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "MUX2": 3,
+    "AOI21": 3,
+    "OAI21": 3,
+    "DFF": 1,
+}
+
+
+@dataclass
+class LogicNode:
+    """A node in a logic graph.
+
+    Attributes
+    ----------
+    index:
+        Position in ``LogicGraph.nodes``.
+    op:
+        Generic operator name (key of :data:`OP_ARITY`).
+    fanin:
+        Indices of this node's input nodes, in operator-argument order
+        (for ``MUX2``: select, then the two data inputs).
+    name:
+        Optional human-readable label (ports get one).
+    """
+
+    index: int
+    op: str
+    fanin: Tuple[int, ...]
+    name: Optional[str] = None
+
+    @property
+    def is_register(self) -> bool:
+        return self.op == "DFF"
+
+    @property
+    def is_input(self) -> bool:
+        return self.op == "INPUT"
+
+
+class LogicGraph:
+    """A mutable DAG of generic logic operators.
+
+    The graph owns its nodes; construction helpers (:meth:`add_input`,
+    :meth:`add_gate`, :meth:`add_register`, :meth:`mark_output`) enforce
+    arity and acyclicity by only permitting references to existing nodes.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[LogicNode] = []
+        self.inputs: List[int] = []
+        self.outputs: List[Tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def _add(self, op: str, fanin: Sequence[int],
+             name: Optional[str] = None) -> int:
+        arity = OP_ARITY.get(op)
+        if arity is None:
+            raise ValueError(f"unknown operator {op!r}")
+        if len(fanin) != arity:
+            raise ValueError(
+                f"{op} expects {arity} inputs, got {len(fanin)}"
+            )
+        for src in fanin:
+            if not 0 <= src < len(self.nodes):
+                raise ValueError(f"fanin {src} does not exist yet")
+        node = LogicNode(len(self.nodes), op, tuple(fanin), name)
+        self.nodes.append(node)
+        return node.index
+
+    def add_input(self, name: str) -> int:
+        """Add a primary input and return its node index."""
+        idx = self._add("INPUT", (), name)
+        self.inputs.append(idx)
+        return idx
+
+    def add_gate(self, op: str, fanin: Sequence[int]) -> int:
+        """Add a combinational gate and return its node index."""
+        if op in ("INPUT", "DFF"):
+            raise ValueError(f"use the dedicated helper for {op}")
+        return self._add(op, fanin)
+
+    def add_register(self, data: int) -> int:
+        """Add a D flip-flop fed by ``data`` and return its node index."""
+        return self._add("DFF", (data,))
+
+    def add_register_placeholder(self) -> int:
+        """Add a D flip-flop whose data input is connected later.
+
+        Placeholders enable sequential feedback (FSMs, shift registers,
+        counters): declare the register, use its output in combinational
+        logic, then close the loop with :meth:`connect_register`.  The
+        combinational portion of the graph stays acyclic because registers
+        cut timing paths.
+        """
+        node = LogicNode(len(self.nodes), "DFF", ())
+        self.nodes.append(node)
+        return node.index
+
+    def connect_register(self, register: int, data: int) -> None:
+        """Bind a placeholder register's data input to ``data``."""
+        node = self.nodes[register]
+        if not node.is_register:
+            raise ValueError(f"node {register} is not a register")
+        if node.fanin:
+            raise ValueError(f"register {register} is already connected")
+        if not 0 <= data < len(self.nodes):
+            raise ValueError(f"data node {data} does not exist")
+        node.fanin = (data,)
+
+    def mark_output(self, node: int, name: str) -> None:
+        """Declare ``node`` as a primary output called ``name``."""
+        if not 0 <= node < len(self.nodes):
+            raise ValueError(f"node {node} does not exist")
+        self.outputs.append((node, name))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def registers(self) -> List[int]:
+        """Indices of all register nodes."""
+        return [n.index for n in self.nodes if n.is_register]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gate nodes (excludes inputs/registers)."""
+        return sum(1 for n in self.nodes
+                   if not n.is_input and not n.is_register
+                   and n.op not in ("CONST0", "CONST1"))
+
+    def fanout_counts(self) -> List[int]:
+        """Fanout (number of readers) of every node."""
+        counts = [0] * len(self.nodes)
+        for node in self.nodes:
+            for src in node.fanin:
+                counts[src] += 1
+        for node_idx, _ in self.outputs:
+            counts[node_idx] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Longest combinational path length in gates.
+
+        Registers and inputs restart the count at zero (they are timing
+        startpoints); the returned value is the maximum over all nodes.
+        """
+        depths = [0] * len(self.nodes)
+        for node in self.nodes:  # nodes are in topological order
+            if node.is_input or node.is_register:
+                depths[node.index] = 0
+            else:
+                depths[node.index] = 1 + max(
+                    (depths[s] for s in node.fanin), default=0
+                )
+        return max(depths, default=0)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the graph is malformed.
+
+        Combinational fanin references must point backwards (construction
+        order is then a topological order of the combinational graph,
+        which guarantees acyclicity).  Registers may reference any node —
+        sequential feedback is legal — but every register must have its
+        data input connected.
+        """
+        for node in self.nodes:
+            if node.is_register:
+                if len(node.fanin) != 1:
+                    raise ValueError(
+                        f"register {node.index} has unconnected data input"
+                    )
+                continue
+            for src in node.fanin:
+                if src >= node.index:
+                    raise ValueError(
+                        f"node {node.index} has forward fanin {src}"
+                    )
+        for node_idx, name in self.outputs:
+            if not 0 <= node_idx < len(self.nodes):
+                raise ValueError(f"output {name} points to missing node")
+        if not self.inputs:
+            raise ValueError("graph has no primary inputs")
+
+    def stats(self) -> Dict[str, int]:
+        """Structural summary: node/gate/register/IO counts and depth."""
+        return {
+            "nodes": len(self.nodes),
+            "gates": self.num_gates,
+            "registers": len(self.registers),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "depth": self.depth(),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"LogicGraph({self.name}, gates={s['gates']}, "
+                f"regs={s['registers']}, depth={s['depth']})")

@@ -1,0 +1,202 @@
+"""Technology mapping: lowering a logic graph onto a cell library.
+
+This stands in for Cadence Genus in the paper's data-generation flow.  The
+mapper walks the logic graph in topological order and instantiates library
+cells; generic functions the library does not provide are decomposed
+through rewrite templates (e.g. ``AND2 -> INV(NAND2)`` on the 7nm library,
+``NAND3 -> NAND2(AND2(a, b), c)`` on the 130nm one).  Because the two
+libraries provide *different* function subsets, mapping the same design to
+the two nodes yields structurally different netlists with identical
+functionality — the precise node/design entanglement the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..techlib import TechLibrary
+from .core import Net, Netlist
+from .logic import LogicGraph
+
+#: Functions every library must provide for the rewrite system to terminate.
+BASE_FUNCTIONS = ("INV", "NAND2", "NOR2", "DFF")
+
+
+class TechMapper:
+    """Maps :class:`LogicGraph` objects onto a :class:`TechLibrary`.
+
+    Parameters
+    ----------
+    library:
+        Target library.  Must provide :data:`BASE_FUNCTIONS`.
+    fanout_drive_thresholds:
+        ``(t1, t2)``; cells driving more than ``t1``/``t2`` sinks get the
+        nearest x2/x4-class drive during the post-mapping sizing pass.
+    """
+
+    def __init__(self, library: TechLibrary,
+                 fanout_drive_thresholds: tuple = (2, 5)) -> None:
+        missing = [f for f in BASE_FUNCTIONS if not library.cells_for(f)]
+        if missing:
+            raise ValueError(
+                f"{library.name} lacks base functions {missing}; "
+                "the mapper cannot terminate without them"
+            )
+        self.library = library
+        self.fanout_drive_thresholds = fanout_drive_thresholds
+        self._decompositions = _build_decompositions()
+
+    # ------------------------------------------------------------------
+    def map(self, graph: LogicGraph) -> Netlist:
+        """Lower ``graph`` to a gate-level netlist on this library."""
+        graph.validate()
+        netlist = Netlist(graph.name, self.library)
+
+        clk_port = netlist.add_port("clk", "input")
+        clk_net = netlist.add_net("clk", is_clock=True)
+        netlist.connect(clk_net, clk_port)
+
+        # Pass 1: inputs and registers get their signals up front, so that
+        # combinational logic (and register feedback) can reference them.
+        signal: Dict[int, Net] = {}
+        dff_insts: Dict[int, object] = {}
+        for node in graph.nodes:
+            if node.is_input:
+                port = netlist.add_port(node.name or f"in{node.index}",
+                                        "input")
+                net = netlist.add_net(f"n_{node.name or node.index}")
+                netlist.connect(net, port)
+                signal[node.index] = net
+            elif node.is_register:
+                dff = self.library.pick("DFF", 1.0)
+                inst = netlist.add_cell(dff)
+                netlist.connect(clk_net, inst.pins["CK"])
+                q_net = netlist.add_net()
+                netlist.connect(q_net, inst.pins["Q"])
+                signal[node.index] = q_net
+                dff_insts[node.index] = inst
+
+        # Pass 2: combinational gates in construction (= topological) order.
+        for node in graph.nodes:
+            if node.is_input or node.is_register:
+                continue
+            fanin_nets = [signal[f] for f in node.fanin]
+            signal[node.index] = self._emit(netlist, node.op, fanin_nets)
+
+        # Pass 3: close register data inputs (may be feedback).
+        for node in graph.nodes:
+            if node.is_register:
+                inst = dff_insts[node.index]
+                netlist.connect(signal[node.fanin[0]], inst.pins["D"])
+
+        for node_idx, name in graph.outputs:
+            port = netlist.add_port(name, "output")
+            netlist.connect(signal[node_idx], port)
+
+        netlist.sweep_dangling()
+        if not clk_net.sinks:
+            # Purely combinational design: drop the unused clock tree.
+            netlist.remove_port("clk")
+            netlist.remove_net(clk_net)
+        self._size_by_fanout(netlist)
+        netlist.validate()
+        return netlist
+
+    # ------------------------------------------------------------------
+    def _emit(self, netlist: Netlist, op: str,
+              fanin: List[Net]) -> Net:
+        """Instantiate ``op`` over nets ``fanin``, decomposing if needed."""
+        if self.library.cells_for(op):
+            cell = self.library.pick(op, 1.0)
+            inst = netlist.add_cell(cell)
+            for pin_name, net in zip(cell.input_pins, fanin):
+                netlist.connect(net, inst.pins[pin_name])
+            out = netlist.add_net()
+            netlist.connect(out, inst.pins[cell.output_pin])
+            return out
+        template = self._decompositions.get(op)
+        if template is None:
+            raise KeyError(
+                f"no cell and no decomposition for {op} in "
+                f"{self.library.name}"
+            )
+        emit = lambda sub_op, sub_fanin: self._emit(netlist, sub_op, sub_fanin)
+        return template(emit, *fanin)
+
+    def _size_by_fanout(self, netlist: Netlist) -> None:
+        """Assign initial drive strengths from each cell's fanout."""
+        t1, t2 = self.fanout_drive_thresholds
+        for inst in netlist.cells.values():
+            net = inst.output_pin.net
+            if net is None:
+                continue
+            fanout = net.fanout
+            if fanout > t2:
+                target = 4.0
+            elif fanout > t1:
+                target = 2.0
+            else:
+                continue
+            replacement = self.library.pick(inst.ref.function, target)
+            if replacement is not inst.ref:
+                inst.ref = replacement
+
+
+def _build_decompositions() -> Dict[str, Callable]:
+    """Rewrite templates over the guaranteed base functions.
+
+    Each template receives an ``emit(op, fanin_nets)`` callback plus the
+    operand nets and returns the output net.  Templates may reference
+    functions covered by *other* templates; recursion terminates because
+    every chain bottoms out in :data:`BASE_FUNCTIONS`.
+    """
+
+    def and2(e, a, b):
+        return e("INV", [e("NAND2", [a, b])])
+
+    def or2(e, a, b):
+        return e("INV", [e("NOR2", [a, b])])
+
+    def nand3(e, a, b, c):
+        return e("NAND2", [e("AND2", [a, b]), c])
+
+    def nor3(e, a, b, c):
+        return e("NOR2", [e("OR2", [a, b]), c])
+
+    def xor2(e, a, b):
+        nab = e("NAND2", [a, b])
+        return e("NAND2", [e("NAND2", [a, nab]), e("NAND2", [b, nab])])
+
+    def xnor2(e, a, b):
+        return e("INV", [e("XOR2", [a, b])])
+
+    def mux2(e, s, a, b):
+        ns = e("INV", [s])
+        return e("NAND2", [e("NAND2", [s, a]), e("NAND2", [ns, b])])
+
+    def aoi21(e, a, b, c):
+        return e("NOR2", [e("AND2", [a, b]), c])
+
+    def oai21(e, a, b, c):
+        return e("NAND2", [e("OR2", [a, b]), c])
+
+    def buf(e, a):
+        return e("INV", [e("INV", [a])])
+
+    return {
+        "AND2": and2,
+        "OR2": or2,
+        "NAND3": nand3,
+        "NOR3": nor3,
+        "XOR2": xor2,
+        "XNOR2": xnor2,
+        "MUX2": mux2,
+        "AOI21": aoi21,
+        "OAI21": oai21,
+        "BUF": buf,
+    }
+
+
+def map_design(graph: LogicGraph, library: TechLibrary) -> Netlist:
+    """Convenience wrapper: map ``graph`` onto ``library``."""
+    return TechMapper(library).map(graph)

@@ -1,0 +1,172 @@
+"""Cycle-accurate boolean simulation of logic graphs and netlists.
+
+Used to *verify the technology mapper*: a design mapped onto two
+different libraries (with different decompositions) must behave
+identically to its generic logic graph on every input sequence.  The
+test suite runs randomised multi-cycle equivalence checks on exactly
+that property.
+
+Semantics of the generic operators (and the library cells implementing
+them, pin order A, B, C):
+
+- ``MUX2(s, a, b)`` = ``a if s else b``
+- ``AOI21(a, b, c)`` = ``not ((a and b) or c)``
+- ``OAI21(a, b, c)`` = ``not ((a or b) and c)``
+
+Registers update synchronously: all flops sample their D inputs, then
+present the new value on Q for the next cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .core import Netlist
+from .logic import LogicGraph
+
+_OPS: Dict[str, Callable[..., bool]] = {
+    "INV": lambda a: not a,
+    "BUF": lambda a: a,
+    "NAND2": lambda a, b: not (a and b),
+    "NAND3": lambda a, b, c: not (a and b and c),
+    "NOR2": lambda a, b: not (a or b),
+    "NOR3": lambda a, b, c: not (a or b or c),
+    "AND2": lambda a, b: a and b,
+    "OR2": lambda a, b: a or b,
+    "XOR2": lambda a, b: a != b,
+    "XNOR2": lambda a, b: a == b,
+    "MUX2": lambda s, a, b: a if s else b,
+    "AOI21": lambda a, b, c: not ((a and b) or c),
+    "OAI21": lambda a, b, c: not ((a or b) and c),
+}
+
+
+class GraphSimulator:
+    """Simulates a :class:`LogicGraph` cycle by cycle."""
+
+    def __init__(self, graph: LogicGraph) -> None:
+        graph.validate()
+        self.graph = graph
+        self.state: Dict[int, bool] = {
+            idx: False for idx in graph.registers
+        }
+
+    def step(self, inputs: Dict[str, bool]) -> Dict[str, bool]:
+        """Advance one clock cycle; returns the primary output values."""
+        graph = self.graph
+        values: Dict[int, bool] = {}
+        for node in graph.nodes:
+            if node.is_input:
+                values[node.index] = bool(inputs[node.name])
+            elif node.is_register:
+                values[node.index] = self.state[node.index]
+        for node in graph.nodes:
+            if node.is_input or node.is_register:
+                continue
+            args = [values[f] for f in node.fanin]
+            values[node.index] = bool(_OPS[node.op](*args))
+        # Synchronous register update.
+        next_state = {}
+        for idx in graph.registers:
+            next_state[idx] = values[graph.nodes[idx].fanin[0]]
+        self.state = next_state
+        return {name: values[node] for node, name in graph.outputs}
+
+
+class NetlistSimulator:
+    """Simulates a mapped :class:`Netlist` cycle by cycle.
+
+    Cell functions are evaluated via :data:`_OPS` keyed by the cell's
+    generic ``function``; pin argument order follows the cell's declared
+    input-pin order (A, B, C ...), which both the mapper and the library
+    builders use consistently.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.state: Dict[str, bool] = {
+            cell.name: False for cell in netlist.sequential_cells
+        }
+        self._order = self._levelize()
+
+    def _levelize(self) -> List:
+        from collections import deque
+
+        dependents: Dict[str, List] = {}
+        indegree: Dict[str, int] = {}
+        for cell in self.netlist.combinational_cells:
+            count = 0
+            for in_pin in cell.input_pins:
+                net = in_pin.net
+                if net is None or net.driver is None or net.is_clock:
+                    continue
+                drv = net.driver
+                if drv.cell is not None and not drv.cell.is_sequential:
+                    count += 1
+                    dependents.setdefault(drv.cell.name, []).append(cell)
+            indegree[cell.name] = count
+        queue = deque(c for c in self.netlist.combinational_cells
+                      if indegree[c.name] == 0)
+        order = []
+        while queue:
+            cell = queue.popleft()
+            order.append(cell)
+            for dep in dependents.get(cell.name, []):
+                indegree[dep.name] -= 1
+                if indegree[dep.name] == 0:
+                    queue.append(dep)
+        if len(order) != len(self.netlist.combinational_cells):
+            raise ValueError("combinational loop in netlist")
+        return order
+
+    def step(self, inputs: Dict[str, bool]) -> Dict[str, bool]:
+        """Advance one clock cycle; returns the primary output values."""
+        net_value: Dict[str, bool] = {}
+        for pin in self.netlist.primary_inputs:
+            if pin.net is not None:
+                net_value[pin.net.name] = bool(inputs[pin.name])
+        for cell in self.netlist.sequential_cells:
+            q_net = cell.output_pin.net
+            if q_net is not None:
+                net_value[q_net.name] = self.state[cell.name]
+
+        for cell in self._order:
+            fn = _OPS[cell.ref.function]
+            args = [net_value[p.net.name] for p in cell.input_pins]
+            out_net = cell.output_pin.net
+            if out_net is not None:
+                net_value[out_net.name] = bool(fn(*args))
+
+        next_state = {}
+        for cell in self.netlist.sequential_cells:
+            d_net = cell.pins["D"].net
+            next_state[cell.name] = net_value[d_net.name]
+        self.state = next_state
+
+        outputs = {}
+        for pin in self.netlist.primary_outputs:
+            if pin.net is not None:
+                outputs[pin.name] = net_value[pin.net.name]
+        return outputs
+
+
+def equivalent_behaviour(graph: LogicGraph, netlists: Sequence[Netlist],
+                         input_sequences: Sequence[Dict[str, bool]]
+                         ) -> bool:
+    """True if every netlist matches the graph over the input sequence.
+
+    ``input_sequences`` is a list of per-cycle input assignments (keyed
+    by primary-input name).  Outputs that the netlist lost to dead-logic
+    sweeping are skipped (they are unobservable by construction).
+    """
+    graph_sim = GraphSimulator(graph)
+    net_sims = [NetlistSimulator(nl) for nl in netlists]
+    for cycle_inputs in input_sequences:
+        expected = graph_sim.step(cycle_inputs)
+        for sim in net_sims:
+            got = sim.step(cycle_inputs)
+            for name, value in got.items():
+                if name in expected and expected[name] != value:
+                    return False
+    return True

@@ -1,0 +1,216 @@
+"""Functional neural-network operations built on the autograd engine.
+
+Includes the convolution/pooling primitives used by the layout CNN, the
+softmax family used by the contrastive loss, and the regression losses used
+by the timing predictor (MSE and the Gaussian negative log-likelihood that
+appears inside the ELBO).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _finish, as_tensor
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements."""
+    target = as_tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def gaussian_nll(prediction: Tensor, target: Tensor,
+                 log_var: Tensor) -> Tensor:
+    """Mean Gaussian negative log-likelihood.
+
+    ``-log p(y | mu, sigma^2)`` with ``mu = prediction`` and
+    ``sigma^2 = exp(log_var)``, averaged over elements.  This is the
+    likelihood term of the ELBO in Equation (8)/(11) of the paper.
+    """
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    inv_var = (-log_var).exp()
+    return (0.5 * (log_var + diff * diff * inv_var + LOG_2PI)).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Mean Huber (smooth-L1) loss; robust alternative used in ablations."""
+    target = as_tensor(target)
+    diff = (prediction - target.detach()).abs()
+    clipped = diff.clip(0.0, delta)
+    return (0.5 * clipped * clipped + delta * (diff - clipped)).mean()
+
+
+# ----------------------------------------------------------------------
+# Convolution via im2col
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
+            padding: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold NCHW ``x`` into columns of shape (N, C*kh*kw, oh*ow)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    hp, wp = x.shape[2], x.shape[3]
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    strides = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    view_strides = (strides[0], strides[1], strides[2], strides[3],
+                    strides[2] * stride, strides[3] * stride)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape,
+                                              strides=view_strides)
+    cols = patches.reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+            kernel: Tuple[int, int], stride: int, padding: int,
+            oh: int, ow: int) -> np.ndarray:
+    """Fold columns back into an NCHW array (adjoint of :func:`_im2col`)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += \
+                patches[:, :, i, j]
+    if padding:
+        out = out[:, :, padding:hp - padding, padding:wp - padding]
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
+           padding: int = 0) -> Tensor:
+    """2D convolution on NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input of shape (N, C_in, H, W).
+    weight:
+        Kernels of shape (C_out, C_in, kH, kW).
+    bias:
+        Optional per-output-channel bias of shape (C_out,).
+    """
+    c_out, c_in, kh, kw = weight.shape
+    cols, oh, ow = _im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+    out_data = np.einsum("ok,nkl->nol", w_mat, cols)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+    out_data = out_data.reshape(x.shape[0], c_out, oh, ow)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_mat = grad.reshape(x.shape[0], c_out, oh * ow)
+        if weight.requires_grad:
+            g_w = np.einsum("nol,nkl->ok", grad_mat, cols)
+            out._send(weight, g_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            out._send(bias, grad_mat.sum(axis=(0, 2)))
+        if x.requires_grad:
+            g_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
+            g_x = _col2im(g_cols, x.shape, (kh, kw), stride, padding, oh, ow)
+            out._send(x, g_x)
+
+    return _finish(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Max pooling on NCHW input with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    strides = x.data.strides
+    shape = (n, c, oh, ow, kernel, kernel)
+    view_strides = (strides[0], strides[1], strides[2] * stride,
+                    strides[3] * stride, strides[2], strides[3])
+    windows = np.lib.stride_tricks.as_strided(x.data, shape=shape,
+                                              strides=view_strides)
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        g_x = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kernel)
+        n_i, c_i, oh_i, ow_i = np.indices((n, c, oh, ow))
+        rows = oh_i * stride + ki
+        cols_ = ow_i * stride + kj
+        np.add.at(g_x, (n_i, c_i, rows, cols_), grad)
+        out._send(x, g_x)
+
+    return _finish(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
+    """Average pooling on NCHW input with square window."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    strides = x.data.strides
+    shape = (n, c, oh, ow, kernel, kernel)
+    view_strides = (strides[0], strides[1], strides[2] * stride,
+                    strides[3] * stride, strides[2], strides[3])
+    windows = np.lib.stride_tricks.as_strided(x.data, shape=shape,
+                                              strides=view_strides)
+    out_data = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        g_x = np.zeros_like(x.data)
+        g = grad * scale
+        for i in range(kernel):
+            for j in range(kernel):
+                g_x[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += g
+        out._send(x, g_x)
+
+    return _finish(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions, (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,115 @@
+"""Learning-rate schedulers for the optimisers.
+
+Schedulers mutate ``optimizer.lr`` in place when stepped, mirroring the
+torch idiom.  The trainer uses :class:`LinearDecay`; the others exist
+for the ablation studies and downstream users.
+"""
+
+from __future__ import annotations
+
+import math
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base class: tracks the step count and the base learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> float:
+        """Advance one step; returns the new learning rate."""
+        self.step_count += 1
+        lr = self.compute_lr(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the optimizer's original learning rate."""
+        self.step_count = 0
+        self.optimizer.lr = self.base_lr
+
+
+class ConstantLR(Scheduler):
+    """No-op scheduler (useful as a default argument)."""
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearDecay(Scheduler):
+    """Linearly anneal from ``base_lr`` to ``final_fraction * base_lr``.
+
+    Parameters
+    ----------
+    total_steps:
+        Horizon over which to anneal; the lr is clamped afterwards.
+    final_fraction:
+        Fraction of the base lr reached at ``total_steps``.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 final_fraction: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = total_steps
+        self.final_fraction = final_fraction
+
+    def compute_lr(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        scale = 1.0 - (1.0 - self.final_fraction) * progress
+        return self.base_lr * scale
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def compute_lr(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class StepDecay(Scheduler):
+    """Multiply the lr by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int,
+                 gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.gamma = gamma
+
+    def compute_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class WarmupWrapper(Scheduler):
+    """Linear warmup from ~0 to base lr, then defer to ``inner``."""
+
+    def __init__(self, inner: Scheduler, warmup_steps: int) -> None:
+        super().__init__(inner.optimizer)
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be >= 0")
+        self.inner = inner
+        self.warmup_steps = warmup_steps
+
+    def compute_lr(self, step: int) -> float:
+        if step <= self.warmup_steps and self.warmup_steps > 0:
+            return self.base_lr * step / self.warmup_steps
+        return self.inner.compute_lr(step - self.warmup_steps)

@@ -1,0 +1,24 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_module(module: Module, path: Union[str, Path]) -> None:
+    """Write a module's state dict to ``path`` as a compressed ``.npz``."""
+    state = module.state_dict()
+    np.savez_compressed(str(path), **state)
+
+
+def load_module(module: Module, path: Union[str, Path]) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,553 @@
+"""A small reverse-mode automatic differentiation engine on numpy arrays.
+
+This module is the substrate that replaces PyTorch in the reproduction.  It
+implements a :class:`Tensor` type that records the operations applied to it
+and can compute gradients of a scalar loss with respect to every tensor that
+participated in the computation, via :meth:`Tensor.backward`.
+
+The engine is deliberately small but complete enough for the paper's model:
+broadcasting elementwise arithmetic, matrix multiplication, reductions,
+shape manipulation, indexing/gather, concatenation, and the nonlinearities
+used by the timing predictor (ReLU, tanh, sigmoid, exp, log, softplus).
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.nn import Tensor
+>>> w = Tensor(np.ones((3, 2)), requires_grad=True)
+>>> x = Tensor(np.arange(6.0).reshape(2, 3))
+>>> loss = (x @ w).sum()
+>>> loss.backward()
+>>> w.grad.shape
+(3, 2)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Numpy broadcasting implicitly expands operands; the corresponding
+    gradient operation is a sum over the broadcast axes.  This helper undoes
+    broadcasting by summing over the leading added axes and over any axis
+    that was expanded from size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were expanded from 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd support.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested sequence) holding the tensor's value.
+        Stored as ``float64``.
+    requires_grad:
+        If True, gradients flowing through this tensor are accumulated in
+        :attr:`grad` during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents",
+                 "name", "_pending_grads")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a result tensor wired into the autograd graph."""
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ones (the usual choice for a scalar loss).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        # Topologically order the graph so each node's output gradient is
+        # complete before its backward function runs.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            # Leaf accumulation happens inside the backward closures via
+            # the _receive helper captured in each op.
+            node._receive_upstream(node_grad, grads)
+
+    def _receive_upstream(self, node_grad: np.ndarray,
+                          grads: dict[int, np.ndarray]) -> None:
+        """Dispatch an upstream gradient to this node's backward closure."""
+        if self._backward is None:
+            self._accumulate(node_grad)
+            return
+        # Backward closures push into `grads` via this bound helper.
+        self._pending_grads = grads  # type: ignore[attr-defined]
+        try:
+            self._backward(node_grad)
+        finally:
+            del self._pending_grads  # type: ignore[attr-defined]
+
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Route ``grad`` to ``parent`` during backward traversal."""
+        if not parent.requires_grad:
+            return
+        if parent._backward is None and not parent._parents:
+            parent._accumulate(grad)
+            return
+        grads = self._pending_grads  # type: ignore[attr-defined]
+        key = id(parent)
+        if key in grads:
+            grads[key] = grads[key] + grad
+        else:
+            grads[key] = grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad, self.shape))
+            out._send(other_t, _unbroadcast(grad, other_t.shape))
+
+        return _finish(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad * other_t.data, self.shape))
+            out._send(other_t, _unbroadcast(grad * self.data, other_t.shape))
+
+        return _finish(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, -grad)
+
+        return _finish(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, _unbroadcast(grad / other_t.data, self.shape))
+            out._send(
+                other_t,
+                _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape),
+            )
+
+        return _finish(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * exponent * self.data ** (exponent - 1))
+
+        return _finish(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    g_self = np.outer(grad, other_t.data) if grad.ndim == 1 \
+                        else grad[..., None] * other_t.data
+                else:
+                    g_self = grad @ np.swapaxes(other_t.data, -1, -2)
+                out._send(self, _unbroadcast(np.asarray(g_self), self.shape))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    g_other = np.outer(self.data, grad) if grad.ndim == 1 \
+                        else self.data[..., None] @ grad[..., None, :]
+                else:
+                    g_other = np.swapaxes(self.data, -1, -2) @ grad
+                out._send(other_t, _unbroadcast(np.asarray(g_other), other_t.shape))
+
+        return _finish(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            out._send(self, np.broadcast_to(g, self.shape).copy())
+
+        return _finish(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        """Biased variance along ``axis`` (differentiable)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) * (self - mu)
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient among ties to keep the op well defined.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            out._send(self, mask * g / denom)
+
+        return _finish(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad.reshape(self.shape))
+
+        return _finish(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
+        out_data = self.data.transpose(axes_t)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            if axes_t is None:
+                out._send(self, grad.transpose())
+            else:
+                inverse = np.argsort(axes_t)
+                out._send(self, grad.transpose(tuple(inverse)))
+
+        return _finish(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            out._send(self, full)
+
+        return _finish(np.asarray(out_data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * (self.data > 0))
+
+        return _finish(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * (1.0 - out_data ** 2))
+
+        return _finish(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * out_data * (1.0 - out_data))
+
+        return _finish(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * out_data)
+
+        return _finish(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad / self.data)
+
+        return _finish(out_data, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        """Numerically stable ``log(1 + exp(x))``."""
+        x = self.data
+        out_data = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+            out._send(self, grad * sig)
+
+        return _finish(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            out._send(self, grad * np.sign(self.data))
+
+        return _finish(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray, out: "Tensor") -> None:
+            inside = (self.data >= low) & (self.data <= high)
+            out._send(self, grad * inside)
+
+        return _finish(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+
+def _finish(data: np.ndarray, parents: Tuple[Tensor, ...],
+            backward: Callable[[np.ndarray, Tensor], None]) -> Tensor:
+    """Build a graph node whose backward closure receives (grad, out)."""
+    out = Tensor._make(np.asarray(data), parents, lambda g: None)
+    if out.requires_grad:
+        out._backward = lambda grad: backward(grad, out)
+    return out
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op for tensors)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(int(start), int(stop))
+            out._send(tensor, grad[tuple(index)])
+
+    return _finish(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            out._send(tensor, np.squeeze(piece, axis=axis))
+
+    return _finish(out_data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise select (condition is not differentiated)."""
+    a_t, b_t = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a_t.data, b_t.data)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(a_t, _unbroadcast(grad * cond, a_t.shape))
+        out._send(b_t, _unbroadcast(grad * (~cond), b_t.shape))
+
+    return _finish(out_data, (a_t, b_t), backward)
+
+
+def gather_rows(source: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``source[index]`` differentiably (index is integer array)."""
+    idx = np.asarray(index, dtype=np.int64)
+    out_data = source.data[idx]
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        full = np.zeros_like(source.data)
+        np.add.at(full, idx, grad)
+        out._send(source, full)
+
+    return _finish(out_data, (source,), backward)
+
+
+def scatter_add_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Sum ``values`` rows into ``num_rows`` buckets given by ``index``.
+
+    The inverse of :func:`gather_rows`: ``out[i] = sum_j values[j]`` over all
+    ``j`` with ``index[j] == i``.  Used for message aggregation in the GNN.
+    """
+    idx = np.asarray(index, dtype=np.int64)
+    out_shape = (num_rows,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=values.data.dtype)
+    np.add.at(out_data, idx, values.data)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        out._send(values, grad[idx])
+
+    return _finish(out_data, (values,), backward)
+
+
+def no_grad_copy(tensor: Tensor) -> np.ndarray:
+    """Return a detached copy of the tensor's data."""
+    return tensor.data.copy()

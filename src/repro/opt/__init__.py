@@ -1,0 +1,16 @@
+"""Timing optimization substrate: sizing, buffering, the optimizer loop."""
+
+from .buffering import buffer_heavy_nets, insert_buffer
+from .optimizer import OptimizationResult, TimingOptimizer, optimize_design
+from .sizing import critical_cells, downsize_non_critical, upsize_critical
+
+__all__ = [
+    "OptimizationResult",
+    "TimingOptimizer",
+    "buffer_heavy_nets",
+    "critical_cells",
+    "downsize_non_critical",
+    "insert_buffer",
+    "optimize_design",
+    "upsize_critical",
+]

@@ -1,0 +1,92 @@
+"""Buffer insertion on long and high-fanout nets.
+
+Splitting a heavy net behind a buffer is the classic interconnect fix,
+and the most visible form of netlist *restructuring*: the pre-route
+snapshot the predictor sees has one net where signoff has two plus a new
+cell.  Timing endpoints are untouched, which is the property the paper's
+endpoint-level formulation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..netlist import CellInst, Net, Netlist, Pin
+from ..place import Floorplan
+
+
+def insert_buffer(netlist: Netlist, net: Net, sinks: List[Pin],
+                  floorplan: Optional[Floorplan] = None,
+                  drive: float = 2.0) -> CellInst:
+    """Drive ``sinks`` of ``net`` through a new buffer.
+
+    The buffer is placed at the sink centroid (legalised to the nearest
+    row if a floorplan is given), and a new net carries its output.
+    """
+    if not sinks:
+        raise ValueError("no sinks to buffer")
+    for sink in sinks:
+        if sink not in net.sinks:
+            raise ValueError(f"{sink.full_name} is not a sink of {net.name}")
+
+    library = netlist.library
+    buf = netlist.add_cell(library.pick("BUF", drive))
+    buffered = netlist.add_net()
+    for sink in sinks:
+        netlist.disconnect(sink)
+        netlist.connect(buffered, sink)
+    netlist.connect(net, buf.pins["A"])
+    netlist.connect(buffered, buf.output_pin)
+
+    # Physical: centroid placement, snapped onto a row.
+    cx = float(np.mean([p.x for p in sinks]))
+    cy = float(np.mean([p.y for p in sinks]))
+    if floorplan is not None:
+        cx, cy = floorplan.clamp(cx, cy)
+        row = int(cy / floorplan.row_height)
+        cy = floorplan.row_y(min(row, floorplan.num_rows - 1))
+    buf.x, buf.y = cx, cy
+    for k, pin in enumerate(buf.pins.values()):
+        pin.x, pin.y = cx + 0.01 * k, cy
+    return buf
+
+
+def buffer_heavy_nets(netlist: Netlist, floorplan: Optional[Floorplan] = None,
+                      max_fanout: int = 6, max_length: float = None,
+                      max_changes: int = 30) -> int:
+    """Buffer nets that exceed fanout or length limits.
+
+    High-fanout nets have their farthest half of sinks moved behind a
+    buffer; long two-pin nets get a repeater at the midpoint.  Returns
+    the number of buffers inserted.
+    """
+    from ..route.estimator import hpwl, manhattan
+
+    if max_length is None:
+        # Default: an eighth of the die half-perimeter, or a large value.
+        if floorplan is not None:
+            max_length = 0.25 * (floorplan.width + floorplan.height)
+        else:
+            max_length = float("inf")
+
+    changes = 0
+    for net in list(netlist.nets.values()):
+        if changes >= max_changes:
+            break
+        if net.is_clock or net.driver is None:
+            continue
+        driver = net.driver
+        if net.fanout > max_fanout:
+            # Move the farthest half of the sinks behind a buffer.
+            ranked = sorted(net.sinks,
+                            key=lambda s: -manhattan(driver, s))
+            far = ranked[: len(ranked) // 2]
+            if far:
+                insert_buffer(netlist, net, far, floorplan)
+                changes += 1
+        elif net.fanout >= 1 and hpwl(net) > max_length:
+            insert_buffer(netlist, net, list(net.sinks), floorplan)
+            changes += 1
+    return changes

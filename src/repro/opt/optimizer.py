@@ -1,0 +1,109 @@
+"""The timing optimization pass (Innovus optDesign stand-in).
+
+Alternates pre-route STA with gate sizing and buffer insertion until the
+worst slack stops improving or the round budget is exhausted, then runs
+one area-recovery downsizing sweep.  This is the *netlist restructuring*
+step of the paper's flow: it runs after the predictor's input snapshot is
+taken and before routing, so the signoff netlist the labels come from is
+not the netlist the model sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netlist import Netlist
+from ..place import Floorplan
+from ..route.estimator import PreRouteEstimator
+from ..sta import ClockConstraint, run_sta
+from .buffering import buffer_heavy_nets
+from .sizing import downsize_non_critical, upsize_critical
+
+
+@dataclass
+class OptimizationResult:
+    """What the optimization pass did and what it achieved."""
+
+    rounds: int
+    cells_upsized: int
+    cells_downsized: int
+    buffers_inserted: int
+    wns_before: float
+    wns_after: float
+
+    @property
+    def restructured(self) -> bool:
+        """True if the netlist graph changed (not just cell sizes)."""
+        return self.buffers_inserted > 0
+
+
+class TimingOptimizer:
+    """Drives sizing + buffering rounds against pre-route STA.
+
+    Parameters
+    ----------
+    netlist:
+        Placed design; modified in place.
+    floorplan:
+        Geometry for buffer placement and length limits.
+    clock:
+        Constraint to optimize against (derived if omitted).
+    max_rounds:
+        Upper bound on optimize/STA iterations.
+    """
+
+    def __init__(self, netlist: Netlist, floorplan: Floorplan,
+                 clock: Optional[ClockConstraint] = None,
+                 max_rounds: int = 4) -> None:
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.clock = clock
+        self.max_rounds = max_rounds
+
+    def run(self) -> OptimizationResult:
+        upsized = downsized = buffered = 0
+        report = run_sta(self.netlist, PreRouteEstimator(self.netlist),
+                         self.clock)
+        wns_before = report.wns
+        wns = wns_before
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            moved = 0
+            moved += upsize_critical(self.netlist, report, max_changes=60)
+            upsized += moved
+            bufs = buffer_heavy_nets(self.netlist, self.floorplan,
+                                     max_changes=20)
+            buffered += bufs
+            moved += bufs
+            if moved == 0:
+                break
+            # Fresh estimator: restructuring invalidated cached lengths.
+            report = run_sta(self.netlist, PreRouteEstimator(self.netlist),
+                             self.clock)
+            if report.wns <= wns + 1e-9 and rounds > 1:
+                wns = report.wns
+                break
+            wns = report.wns
+        # Area recovery on comfortably-met paths.
+        threshold = 0.3 * report.clock.period
+        downsized = downsize_non_critical(self.netlist, report, threshold,
+                                          max_changes=40)
+        final = run_sta(self.netlist, PreRouteEstimator(self.netlist),
+                        self.clock)
+        self.netlist.validate()
+        return OptimizationResult(
+            rounds=rounds,
+            cells_upsized=upsized,
+            cells_downsized=downsized,
+            buffers_inserted=buffered,
+            wns_before=wns_before,
+            wns_after=final.wns,
+        )
+
+
+def optimize_design(netlist: Netlist, floorplan: Floorplan,
+                    clock: Optional[ClockConstraint] = None,
+                    max_rounds: int = 4) -> OptimizationResult:
+    """Convenience wrapper around :class:`TimingOptimizer`."""
+    return TimingOptimizer(netlist, floorplan, clock, max_rounds).run()

@@ -1,0 +1,70 @@
+"""Slack-driven gate sizing.
+
+Cells whose output pins sit on negative-slack paths are swapped for
+stronger drives of the same function.  This is one of the two netlist
+restructuring moves (with buffering) that make the signoff netlist differ
+from the pre-route snapshot the timing predictor sees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netlist import CellInst, Netlist
+from ..sta import TimingReport
+
+
+def critical_cells(netlist: Netlist, report: TimingReport,
+                   slack_margin: float = 0.0) -> List[Tuple[float, CellInst]]:
+    """Cells whose output slack is below ``slack_margin``, worst first."""
+    ranked = []
+    for cell in netlist.combinational_cells:
+        out = cell.output_pin
+        slack = report.pin_slack.get(out.index)
+        if slack is not None and slack < slack_margin:
+            ranked.append((slack, cell))
+    ranked.sort(key=lambda pair: pair[0])
+    return ranked
+
+
+def upsize_critical(netlist: Netlist, report: TimingReport,
+                    max_changes: int = 50,
+                    slack_margin: float = 0.0) -> int:
+    """Upsize up to ``max_changes`` critical cells in place.
+
+    Returns the number of cells resized.  Cells already at the top drive
+    are skipped.
+    """
+    library = netlist.library
+    changes = 0
+    for _, cell in critical_cells(netlist, report, slack_margin):
+        if changes >= max_changes:
+            break
+        stronger = library.upsize(cell.ref)
+        if stronger is None:
+            continue
+        cell.ref = stronger
+        changes += 1
+    return changes
+
+
+def downsize_non_critical(netlist: Netlist, report: TimingReport,
+                          slack_threshold: float, max_changes: int = 50) -> int:
+    """Recover area: weaken cells with slack above ``slack_threshold``.
+
+    Mirrors the area-recovery step real optimizers run after timing is
+    met.  Returns the number of cells resized.
+    """
+    library = netlist.library
+    changes = 0
+    for cell in netlist.combinational_cells:
+        if changes >= max_changes:
+            break
+        slack = report.pin_slack.get(cell.output_pin.index)
+        if slack is None or slack < slack_threshold:
+            continue
+        weaker = library.downsize(cell.ref)
+        if weaker is not None:
+            cell.ref = weaker
+            changes += 1
+    return changes

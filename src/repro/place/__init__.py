@@ -1,0 +1,19 @@
+"""Placement substrate: floorplanning and quadratic placement."""
+
+from .floorplan import (
+    Floorplan,
+    MacroRegion,
+    assign_port_locations,
+    make_floorplan,
+)
+from .placer import QuadraticPlacer, place_design, total_hpwl
+
+__all__ = [
+    "Floorplan",
+    "MacroRegion",
+    "QuadraticPlacer",
+    "assign_port_locations",
+    "make_floorplan",
+    "place_design",
+    "total_hpwl",
+]

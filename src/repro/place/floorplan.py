@@ -1,0 +1,151 @@
+"""Floorplanning: die sizing, placement rows, port ring, macro regions.
+
+The die is sized from total cell area at a target utilisation, divided
+into standard-cell rows.  Ports are distributed around the periphery.
+Synthetic macro blockages stand in for the memory macros real designs
+contain (the paper's layout image set includes a macro-region map, so the
+flow must produce macro geometry even though our benchmark generators emit
+pure standard-cell logic — see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..netlist import Netlist
+
+
+@dataclass
+class MacroRegion:
+    """An axis-aligned placement blockage (synthetic memory macro)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def contains(self, x: float, y: float) -> bool:
+        return (self.x <= x <= self.x + self.width
+                and self.y <= y <= self.y + self.height)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+@dataclass
+class Floorplan:
+    """Die geometry for one design.
+
+    Attributes
+    ----------
+    width, height:
+        Die dimensions in um.
+    row_height:
+        Standard-cell row pitch (the library site height).
+    site_width:
+        Horizontal legalisation grid (the library site width).
+    macros:
+        Placement blockages.
+    utilization:
+        Target cell-area / placeable-area ratio used when sizing the die.
+    """
+
+    width: float
+    height: float
+    row_height: float
+    site_width: float
+    macros: List[MacroRegion] = field(default_factory=list)
+    utilization: float = 0.65
+
+    @property
+    def num_rows(self) -> int:
+        return max(1, int(self.height / self.row_height))
+
+    @property
+    def core_area(self) -> float:
+        return self.width * self.height - sum(m.area for m in self.macros)
+
+    def row_y(self, row: int) -> float:
+        """Center y coordinate of ``row``."""
+        return (row + 0.5) * self.row_height
+
+    def in_macro(self, x: float, y: float) -> bool:
+        return any(m.contains(x, y) for m in self.macros)
+
+    def clamp(self, x: float, y: float) -> Tuple[float, float]:
+        """Clamp a point into the die."""
+        return (min(max(x, 0.0), self.width), min(max(y, 0.0), self.height))
+
+
+def make_floorplan(netlist: Netlist, utilization: float = 0.65,
+                   aspect_ratio: float = 1.0, n_macros: int = 2,
+                   seed: int = 0) -> Floorplan:
+    """Size a die for ``netlist`` and drop in synthetic macro blockages.
+
+    Parameters
+    ----------
+    netlist:
+        The mapped design; total cell area determines die area.
+    utilization:
+        Fraction of the core area the standard cells may occupy.
+    aspect_ratio:
+        Height/width ratio of the die.
+    n_macros:
+        Number of synthetic macro blockages (0 disables them).  Macros
+        occupy ~8% of the die each and hug the die corners, like memory
+        macros usually do.
+    seed:
+        Seed for macro corner selection, so each design gets a distinct
+        but reproducible macro arrangement.
+    """
+    lib = netlist.library
+    cell_area = netlist.total_cell_area()
+    # Reserve room for macros on top of the standard-cell demand.
+    macro_fraction = 0.08 * n_macros
+    core_area = cell_area / max(utilization, 1e-3) / max(1.0 - macro_fraction,
+                                                         0.3)
+    # An empty or near-empty netlist still gets a minimal usable die.
+    core_area = max(core_area, 25.0 * lib.site[0] * lib.site[1])
+    width = math.sqrt(core_area / aspect_ratio)
+    height = core_area / width
+    # Round height to a whole number of rows.
+    row_height = lib.site[1]
+    height = max(row_height, math.ceil(height / row_height) * row_height)
+    fp = Floorplan(width=width, height=height, row_height=row_height,
+                   site_width=lib.site[0], utilization=utilization)
+
+    rng = np.random.default_rng(seed)
+    corners = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]
+    rng.shuffle(corners)
+    for k in range(min(n_macros, len(corners))):
+        cx, cy = corners[k]
+        m_w, m_h = 0.30 * width, 0.28 * height
+        x = 0.0 if cx == 0.0 else width - m_w
+        y = 0.0 if cy == 0.0 else height - m_h
+        fp.macros.append(MacroRegion(x, y, m_w, m_h))
+    return fp
+
+
+def assign_port_locations(netlist: Netlist, floorplan: Floorplan) -> None:
+    """Spread the design's ports evenly around the die boundary."""
+    ports = sorted(netlist.ports.values(), key=lambda p: p.name)
+    n = len(ports)
+    if n == 0:
+        return
+    perimeter = 2.0 * (floorplan.width + floorplan.height)
+    for i, pin in enumerate(ports):
+        d = perimeter * i / n
+        if d < floorplan.width:
+            x, y = d, 0.0
+        elif d < floorplan.width + floorplan.height:
+            x, y = floorplan.width, d - floorplan.width
+        elif d < 2 * floorplan.width + floorplan.height:
+            x, y = d - floorplan.width - floorplan.height, floorplan.height
+        else:
+            x, y = 0.0, d - 2 * floorplan.width - floorplan.height
+        pin.x, pin.y = x, y

@@ -1,0 +1,91 @@
+"""Pre-route parasitics estimation (what the timing predictor's world sees).
+
+Before routing exists, STA engines estimate interconnect from placement:
+the net's half-perimeter wirelength sets the wire capacitance, and a star
+topology with per-sink Manhattan resistance gives Elmore-style delays.
+This is deliberately *optimistic/inaccurate* relative to the routed
+parasitics from :mod:`repro.route.router` — that modelling gap is exactly
+why pre-routing timing prediction is an ML problem in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..netlist import Net, Netlist, Pin
+
+
+class ParasiticsProvider:
+    """Interface consumed by the STA engine."""
+
+    def net_load(self, net: Net) -> float:
+        """Total capacitance (pF) the net's driver sees."""
+        raise NotImplementedError
+
+    def wire_delay(self, net: Net, sink: Pin) -> float:
+        """Interconnect delay (ns) from the driver to ``sink``."""
+        raise NotImplementedError
+
+    def slew_degradation(self, net: Net, sink: Pin) -> float:
+        """Extra transition time (ns) accumulated across the wire."""
+        raise NotImplementedError
+
+
+def hpwl(net: Net) -> float:
+    """Half-perimeter wirelength of a placed net (um)."""
+    pins = net.pins
+    if len(pins) < 2:
+        return 0.0
+    xs = [p.x for p in pins]
+    ys = [p.y for p in pins]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def manhattan(a: Pin, b: Pin) -> float:
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+class PreRouteEstimator(ParasiticsProvider):
+    """HPWL/star-model parasitics from placement only.
+
+    Parameters
+    ----------
+    netlist:
+        Placed design (pin locations must be set).
+    fanout_factor:
+        Multiplier on HPWL per extra sink, approximating the Steiner
+        length increase of multi-fanout nets.
+    """
+
+    def __init__(self, netlist: Netlist, fanout_factor: float = 0.15) -> None:
+        self.netlist = netlist
+        self.wire = netlist.library.wire
+        self.fanout_factor = fanout_factor
+        self._length_cache: Dict[int, float] = {}
+
+    def estimated_length(self, net: Net) -> float:
+        """Estimated routed length (um): HPWL with a fanout correction."""
+        cached = self._length_cache.get(net.index)
+        if cached is not None:
+            return cached
+        length = hpwl(net) * (1.0 + self.fanout_factor
+                              * max(0, net.fanout - 1))
+        self._length_cache[net.index] = length
+        return length
+
+    def net_load(self, net: Net) -> float:
+        wire_cap = self.wire.cap_per_um * self.estimated_length(net)
+        return wire_cap + net.total_sink_cap()
+
+    def wire_delay(self, net: Net, sink: Pin) -> float:
+        if net.driver is None:
+            return 0.0
+        dist = manhattan(net.driver, sink)
+        res = self.wire.res_per_um * dist
+        # Star model: the sink sees half the wire cap plus its own load.
+        wire_cap = self.wire.cap_per_um * dist
+        return res * (0.5 * wire_cap + sink.cap)
+
+    def slew_degradation(self, net: Net, sink: Pin) -> float:
+        # ln(9) * Elmore, consistent with the routed model.
+        return 2.197 * self.wire_delay(net, sink)

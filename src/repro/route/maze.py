@@ -1,0 +1,175 @@
+"""Grid-based maze routing (Lee-style) with congestion-aware costs.
+
+The MST router in :mod:`repro.route.router` models detours statistically;
+this module actually *finds* them: nets are routed one at a time on a
+coarse grid with Dijkstra search, where a bin's cost grows with the
+demand already committed to it.  Later nets therefore flow around the
+congestion earlier nets created — the negotiation dynamic real global
+routers have.
+
+It is an optional alternative backend for :class:`GlobalRouter`-style
+parasitics (see :func:`maze_route_design`) and the subject of its own
+benchmark comparisons against the MST router.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist import Net, Netlist
+from ..place import Floorplan
+from ..sta.rc import RCTree
+
+
+class RoutingGrid:
+    """Uniform routing grid with per-bin cost that grows with usage."""
+
+    def __init__(self, floorplan: Floorplan, bins: int = 24,
+                 congestion_penalty: float = 0.4) -> None:
+        self.bins = bins
+        self.width = max(floorplan.width, 1e-9)
+        self.height = max(floorplan.height, 1e-9)
+        self.usage = np.zeros((bins, bins))
+        self.congestion_penalty = congestion_penalty
+        self.step_x = self.width / bins
+        self.step_y = self.height / bins
+
+    def bin_of(self, x: float, y: float) -> Tuple[int, int]:
+        i = min(self.bins - 1, max(0, int(x / self.width * self.bins)))
+        j = min(self.bins - 1, max(0, int(y / self.height * self.bins)))
+        return i, j
+
+    def center_of(self, i: int, j: int) -> Tuple[float, float]:
+        return ((i + 0.5) * self.step_x, (j + 0.5) * self.step_y)
+
+    def step_cost(self, i: int, j: int, horizontal: bool) -> float:
+        """Cost of entering bin (i, j): distance plus congestion."""
+        base = self.step_x if horizontal else self.step_y
+        return base * (1.0 + self.congestion_penalty * self.usage[i, j])
+
+    def commit(self, path: Sequence[Tuple[int, int]]) -> None:
+        for i, j in path:
+            self.usage[i, j] += 1.0
+
+
+def dijkstra_route(grid: RoutingGrid, start: Tuple[int, int],
+                   goal: Tuple[int, int]
+                   ) -> Tuple[List[Tuple[int, int]], float]:
+    """Cheapest bin path from ``start`` to ``goal`` (4-connected).
+
+    Returns (path including both endpoints, total cost).
+    """
+    if start == goal:
+        return [start], 0.0
+    dist: Dict[Tuple[int, int], float] = {start: 0.0}
+    prev: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    heap = [(0.0, start)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node == goal:
+            break
+        if d > dist.get(node, np.inf):
+            continue
+        i, j = node
+        for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            ni, nj = i + di, j + dj
+            if not (0 <= ni < grid.bins and 0 <= nj < grid.bins):
+                continue
+            cost = grid.step_cost(ni, nj, horizontal=dj == 0)
+            nd = d + cost
+            if nd < dist.get((ni, nj), np.inf):
+                dist[(ni, nj)] = nd
+                prev[(ni, nj)] = node
+                heapq.heappush(heap, (nd, (ni, nj)))
+    if goal not in dist:
+        raise RuntimeError("maze routing failed to reach the goal")
+    path = [goal]
+    while path[-1] != start:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path, dist[goal]
+
+
+class MazeRouter:
+    """Routes every signal net via sequential congestion-aware search.
+
+    Nets are ordered by half-perimeter (short first, the classic
+    heuristic), each sink is routed to the nearest already-routed bin of
+    its net (a maze-style Steiner approximation), and the used bins are
+    committed so subsequent nets pay for crossing them.
+    """
+
+    def __init__(self, netlist: Netlist, floorplan: Floorplan,
+                 bins: int = 24, congestion_penalty: float = 0.4) -> None:
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.grid = RoutingGrid(floorplan, bins, congestion_penalty)
+        self.trees: Dict[int, RCTree] = {}
+        self.routed_length: Dict[int, float] = {}
+
+    def run(self) -> None:
+        from .estimator import hpwl
+
+        nets = [n for n in self.netlist.nets.values()
+                if n.driver is not None and n.sinks and not n.is_clock]
+        nets.sort(key=hpwl)
+        for net in nets:
+            self._route_net(net)
+
+    def _route_net(self, net: Net) -> None:
+        wire = self.netlist.library.wire
+        tree = RCTree()
+        driver = net.driver
+        start_bin = self.grid.bin_of(driver.x, driver.y)
+        # bin -> RC tree node for this net.
+        bin_node: Dict[Tuple[int, int], int] = {start_bin: 0}
+        total_len = 0.0
+        committed: List[Tuple[int, int]] = [start_bin]
+
+        for sink in sorted(net.sinks,
+                           key=lambda s: abs(s.x - driver.x)
+                           + abs(s.y - driver.y)):
+            goal = self.grid.bin_of(sink.x, sink.y)
+            # Route to the nearest bin already on the net's tree.
+            best_path, best_cost, best_anchor = None, np.inf, None
+            for anchor in list(bin_node):
+                path, cost = dijkstra_route(self.grid, goal, anchor)
+                if cost < best_cost:
+                    best_path, best_cost, best_anchor = path, cost, anchor
+            # best_path runs goal -> anchor; build RC from the anchor out.
+            assert best_path is not None
+            segment = list(reversed(best_path))  # anchor ... goal
+            parent = bin_node[best_anchor]
+            for k in range(1, len(segment)):
+                b = segment[k]
+                if b in bin_node:
+                    parent = bin_node[b]
+                    continue
+                prev_center = self.grid.center_of(*segment[k - 1])
+                cur_center = self.grid.center_of(*b)
+                length = (abs(cur_center[0] - prev_center[0])
+                          + abs(cur_center[1] - prev_center[1]))
+                total_len += length
+                res, cap = wire.rc(length)
+                tree.nodes[parent].cap += cap / 2
+                parent = tree.add_node(parent, res, cap / 2)
+                bin_node[b] = parent
+                committed.append(b)
+            tree.attach_sink(sink.index, bin_node[segment[-1]], sink.cap)
+        self.grid.commit(committed)
+        self.trees[net.index] = tree
+        self.routed_length[net.index] = total_len
+
+
+def maze_route_design(netlist: Netlist, floorplan: Floorplan,
+                      bins: int = 24):
+    """Route with the maze router; returns signoff parasitics."""
+    from .router import RoutedParasitics
+
+    router = MazeRouter(netlist, floorplan, bins=bins)
+    router.run()
+    # RoutedParasitics only needs .trees, which MazeRouter provides.
+    return RoutedParasitics(router)

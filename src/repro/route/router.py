@@ -1,0 +1,207 @@
+"""Global routing with congestion-aware detours (Innovus routing stand-in).
+
+Each net is routed as a rectilinear minimum spanning tree over its pins
+(Prim's algorithm under the L1 metric, a standard Steiner approximation).
+A first pass accumulates routing demand on a coarse grid; a second pass
+stretches edges that cross congested bins.  The result is an RC tree per
+net, which signoff STA consumes through :class:`RoutedParasitics`.
+
+The systematic gap between these routed parasitics and the pre-route
+star estimates (detours, Steiner vs star topology, congestion) is what
+the paper's model must learn to anticipate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..netlist import Net, Netlist, Pin
+from ..place import Floorplan
+from ..sta.rc import RCTree
+from .estimator import ParasiticsProvider, manhattan
+
+
+class CongestionGrid:
+    """Coarse routing-demand grid over the die."""
+
+    def __init__(self, floorplan: Floorplan, bins: int = 16,
+                 capacity_per_um: float = 14.0) -> None:
+        self.bins = bins
+        self.width = max(floorplan.width, 1e-6)
+        self.height = max(floorplan.height, 1e-6)
+        self.demand = np.zeros((bins, bins))
+        bin_area = (self.width / bins) * (self.height / bins)
+        # Capacity in total routable wirelength per bin.
+        self.capacity = capacity_per_um * np.sqrt(bin_area) \
+            * (self.width / bins)
+
+    def _bin(self, x: float, y: float) -> Tuple[int, int]:
+        i = min(self.bins - 1, max(0, int(x / self.width * self.bins)))
+        j = min(self.bins - 1, max(0, int(y / self.height * self.bins)))
+        return i, j
+
+    def add_demand(self, x0: float, y0: float, x1: float, y1: float) -> None:
+        """Spread an edge's wirelength demand over its bounding bins."""
+        i0, j0 = self._bin(min(x0, x1), min(y0, y1))
+        i1, j1 = self._bin(max(x0, x1), max(y0, y1))
+        length = abs(x1 - x0) + abs(y1 - y0)
+        n_bins = (i1 - i0 + 1) * (j1 - j0 + 1)
+        share = length / n_bins
+        self.demand[i0:i1 + 1, j0:j1 + 1] += share
+
+    def overflow(self, x0: float, y0: float, x1: float, y1: float) -> float:
+        """Mean demand/capacity overflow along an edge's bounding box."""
+        i0, j0 = self._bin(min(x0, x1), min(y0, y1))
+        i1, j1 = self._bin(max(x0, x1), max(y0, y1))
+        region = self.demand[i0:i1 + 1, j0:j1 + 1]
+        util = region / self.capacity
+        return float(np.maximum(util - 1.0, 0.0).mean())
+
+    @property
+    def max_utilization(self) -> float:
+        return float(self.demand.max() / self.capacity)
+
+
+def _mst_edges(pins: List[Pin]) -> List[Tuple[int, int]]:
+    """Prim's MST over pins under the Manhattan metric.
+
+    Returns (parent_index, child_index) pairs into ``pins`` with the
+    driver (index 0) as the root.
+    """
+    n = len(pins)
+    in_tree = [False] * n
+    best_dist = [np.inf] * n
+    best_parent = [0] * n
+    in_tree[0] = True
+    for k in range(n):
+        if k != 0:
+            best_dist[k] = manhattan(pins[0], pins[k])
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        # Pick the closest out-of-tree pin.
+        candidate = -1
+        for k in range(n):
+            if not in_tree[k] and (candidate < 0
+                                   or best_dist[k] < best_dist[candidate]):
+                candidate = k
+        in_tree[candidate] = True
+        edges.append((best_parent[candidate], candidate))
+        for k in range(n):
+            if not in_tree[k]:
+                d = manhattan(pins[candidate], pins[k])
+                if d < best_dist[k]:
+                    best_dist[k] = d
+                    best_parent[k] = candidate
+    return edges
+
+
+class GlobalRouter:
+    """Routes every signal net and materialises per-net RC trees.
+
+    Parameters
+    ----------
+    netlist:
+        Placed design.
+    floorplan:
+        Die geometry (for the congestion grid).
+    detour_factor:
+        Strength of congestion-induced detours: an edge in a region with
+        mean overflow ``v`` is stretched by ``1 + detour_factor * v``.
+    seed:
+        Adds reproducible routing jitter (scenic detours), standing in for
+        the unpredictable part of detailed routing.
+    jitter:
+        Relative magnitude of the random detour component.
+    """
+
+    def __init__(self, netlist: Netlist, floorplan: Floorplan,
+                 detour_factor: float = 1.5, seed: int = 0,
+                 jitter: float = 0.08) -> None:
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.detour_factor = detour_factor
+        self.jitter = jitter
+        self.rng = np.random.default_rng(seed)
+        self.grid = CongestionGrid(floorplan)
+        self.trees: Dict[int, RCTree] = {}
+        self.routed_length: Dict[int, float] = {}
+
+    def run(self) -> None:
+        """Two-pass global route: demand accumulation, then RC build."""
+        nets = [n for n in self.netlist.nets.values()
+                if n.driver is not None and n.sinks and not n.is_clock]
+        edge_lists: Dict[int, List[Tuple[int, int]]] = {}
+        for net in nets:
+            pins = [net.driver] + net.sinks
+            edges = _mst_edges(pins)
+            edge_lists[net.index] = edges
+            for pa, pc in edges:
+                self.grid.add_demand(pins[pa].x, pins[pa].y,
+                                     pins[pc].x, pins[pc].y)
+        for net in nets:
+            self.trees[net.index] = self._build_tree(
+                net, edge_lists[net.index]
+            )
+
+    def _build_tree(self, net: Net, edges: List[Tuple[int, int]]) -> RCTree:
+        pins = [net.driver] + net.sinks
+        wire = self.netlist.library.wire
+        tree = RCTree()
+        node_of = {0: 0}
+        total_len = 0.0
+        # Edges from Prim come in tree-growth order, so parents exist.
+        for pa, pc in edges:
+            a, c = pins[pa], pins[pc]
+            base_len = manhattan(a, c)
+            overflow = self.grid.overflow(a.x, a.y, c.x, c.y)
+            detour = 1.0 + self.detour_factor * overflow \
+                + self.jitter * float(self.rng.random())
+            length = base_len * detour + 0.5 * self.floorplan.site_width
+            total_len += length
+            res, cap = wire.rc(length)
+            # Pi model: half the wire cap at each end of the segment.
+            tree.nodes[node_of[pa]].cap += cap / 2
+            node = tree.add_node(node_of[pa], res, cap / 2)
+            node_of[pc] = node
+            tree.attach_sink(c.index, node, c.cap)
+        self.routed_length[net.index] = total_len
+        return tree
+
+
+class RoutedParasitics(ParasiticsProvider):
+    """Signoff parasitics view backed by the router's RC trees."""
+
+    def __init__(self, router: GlobalRouter) -> None:
+        self.router = router
+        self._delay_cache: Dict[int, Dict[int, float]] = {}
+        self._slew_cache: Dict[int, Dict[int, float]] = {}
+
+    def _tree(self, net: Net) -> RCTree:
+        return self.router.trees[net.index]
+
+    def net_load(self, net: Net) -> float:
+        return self._tree(net).total_cap()
+
+    def wire_delay(self, net: Net, sink: Pin) -> float:
+        delays = self._delay_cache.get(net.index)
+        if delays is None:
+            delays = self._tree(net).sink_delays()
+            self._delay_cache[net.index] = delays
+        return delays[sink.index]
+
+    def slew_degradation(self, net: Net, sink: Pin) -> float:
+        slews = self._slew_cache.get(net.index)
+        if slews is None:
+            slews = self._tree(net).slew_degradations()
+            self._slew_cache[net.index] = slews
+        return slews[sink.index]
+
+
+def route_design(netlist: Netlist, floorplan: Floorplan,
+                 seed: int = 0) -> RoutedParasitics:
+    """Route ``netlist`` and return signoff parasitics."""
+    router = GlobalRouter(netlist, floorplan, seed=seed)
+    router.run()
+    return RoutedParasitics(router)

@@ -1,0 +1,87 @@
+"""Timing constraints.
+
+The paper derives PnR timing constraints "from estimated values provided
+by Cadence Genus during synthesis".  We mimic this: the clock period
+starts from the library default for the node and is tightened toward the
+design's estimated logic depth so that timing optimization has real work
+to do on every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ClockConstraint:
+    """A single-clock constraint: period and setup uncertainty (ns)."""
+
+    period: float
+    uncertainty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("clock period must be positive")
+        if self.uncertainty < 0 or self.uncertainty >= self.period:
+            raise ValueError("uncertainty must be in [0, period)")
+
+
+def estimate_depth(netlist: Netlist) -> int:
+    """Longest combinational path length in cells (unit delays).
+
+    A quick structural estimate in the spirit of synthesis-time timing
+    estimation; STA refines it with real delays.
+    """
+    from collections import deque
+
+    depth = {}
+    dependents = {}
+    indegree = {}
+    outputs = []
+    for cell in netlist.combinational_cells:
+        out = cell.output_pin
+        outputs.append(out)
+        count = 0
+        for in_pin in cell.input_pins:
+            net = in_pin.net
+            if net is None or net.driver is None or net.is_clock:
+                continue
+            drv = net.driver
+            if drv.cell is not None and not drv.cell.is_sequential:
+                count += 1
+                dependents.setdefault(drv.index, []).append(out)
+        indegree[out.index] = count
+    queue = deque(p for p in outputs if indegree[p.index] == 0)
+    best = 0
+    while queue:
+        pin = queue.popleft()
+        d = depth.get(pin.index, 1)
+        best = max(best, d)
+        for dep in dependents.get(pin.index, []):
+            depth[dep.index] = max(depth.get(dep.index, 1), d + 1)
+            indegree[dep.index] -= 1
+            if indegree[dep.index] == 0:
+                queue.append(dep)
+    return best
+
+
+def derive_constraints(netlist: Netlist,
+                       pressure: float = 0.85) -> ClockConstraint:
+    """Derive a clock constraint for ``netlist``.
+
+    The period is the larger of a depth-proportional estimate and a
+    fraction of the node's default period, scaled by ``pressure`` (< 1
+    tightens the constraint so optimization always has critical paths).
+    """
+    lib = netlist.library
+    # Rough per-stage delay: a unit inverter driving four of itself.
+    inv = lib.pick("INV", 1.0)
+    fo4 = inv.arcs[0].delay.lookup(lib.primary_input_slew,
+                                   4.0 * inv.input_cap("A"))
+    depth = estimate_depth(netlist)
+    estimated = 2.5 * fo4 * max(depth, 1)
+    period = pressure * max(estimated, 0.25 * lib.default_clock_period)
+    return ClockConstraint(period=period,
+                           uncertainty=0.02 * period)

@@ -1,0 +1,276 @@
+"""Static timing analysis: PERT traversal over the netlist pin graph.
+
+The engine levelises the timing graph (net edges from drivers to sinks,
+cell edges from combinational inputs to outputs) and propagates arrival
+time and transition (slew) from startpoints (primary inputs and flop Q
+pins) to endpoints (flop D pins and primary outputs) in one pass — the
+"single PERT-like traversal" of classic STA [5].
+
+Cell arc delays come from the library's NLDM tables; interconnect comes
+from a :class:`~repro.route.estimator.ParasiticsProvider` (star estimates
+pre-route, RC-tree Elmore at signoff).  Running the same engine with both
+providers is how the flow produces the pre-route vs signoff timing gap
+the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist import Netlist, Pin
+from ..route.estimator import ParasiticsProvider
+from .constraints import ClockConstraint, derive_constraints
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run.
+
+    All dictionaries are keyed by pin index.  ``endpoint_arrivals`` maps
+    the *name* of each endpoint (stable across netlist restructuring) to
+    its worst arrival time, which is the label the paper's model predicts.
+    """
+
+    arrival: Dict[int, float]
+    slew: Dict[int, float]
+    slack: Dict[int, float]
+    endpoint_arrivals: Dict[str, float]
+    clock: ClockConstraint
+    pin_slack: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (ns); positive if all paths meet timing."""
+        return min(self.slack.values()) if self.slack else 0.0
+
+    @property
+    def tns(self) -> float:
+        """Total negative slack (ns)."""
+        return sum(min(s, 0.0) for s in self.slack.values())
+
+    def critical_endpoints(self, k: int = 10) -> List[Tuple[str, float]]:
+        """The ``k`` endpoints with the largest arrival times."""
+        ranked = sorted(self.endpoint_arrivals.items(),
+                        key=lambda kv: -kv[1])
+        return ranked[:k]
+
+
+class STAEngine:
+    """Propagates arrival/slew through a netlist.
+
+    Parameters
+    ----------
+    netlist:
+        Design to analyse; must be structurally valid.
+    parasitics:
+        Interconnect model (pre-route estimator or routed parasitics).
+    clock:
+        Timing constraint; derived from the library if omitted.
+    """
+
+    def __init__(self, netlist: Netlist, parasitics: ParasiticsProvider,
+                 clock: Optional[ClockConstraint] = None) -> None:
+        self.netlist = netlist
+        self.parasitics = parasitics
+        self.clock = clock or derive_constraints(netlist)
+
+    # ------------------------------------------------------------------
+    def run(self) -> TimingReport:
+        arrival: Dict[int, float] = {}
+        slew: Dict[int, float] = {}
+
+        order, fanin_ready = self._levelize()
+        lib_slew = self.netlist.library.primary_input_slew
+
+        # Initialise startpoints.
+        for pin in self.netlist.primary_inputs:
+            arrival[pin.index] = 0.0
+            slew[pin.index] = lib_slew
+        for cell in self.netlist.sequential_cells:
+            q = cell.output_pin
+            if q.net is None:
+                continue
+            arc = cell.ref.arc_for("CK")
+            load = self.parasitics.net_load(q.net)
+            arrival[q.index] = arc.delay.lookup(lib_slew, load)
+            slew[q.index] = arc.output_slew.lookup(lib_slew, load)
+
+        # PERT traversal.
+        for pin in order:
+            if pin.index in arrival:
+                self._propagate_from(pin, arrival, slew)
+                continue
+            if pin.direction == "input" or pin.is_port:
+                continue
+            # Combinational cell output: max over ready inputs.
+            cell = pin.cell
+            net = pin.net
+            load = self.parasitics.net_load(net) if net is not None else 0.0
+            best_at, best_slew = None, None
+            for in_pin in cell.input_pins:
+                at_in = arrival.get(in_pin.index)
+                if at_in is None:
+                    continue
+                arc = cell.ref.arc_for(in_pin.name)
+                if arc is None:
+                    continue
+                sl_in = slew.get(in_pin.index, lib_slew)
+                at_out = at_in + arc.delay.lookup(sl_in, load)
+                sl_out = arc.output_slew.lookup(sl_in, load)
+                if best_at is None or at_out > best_at:
+                    best_at = at_out
+                if best_slew is None or sl_out > best_slew:
+                    best_slew = sl_out
+            if best_at is not None:
+                arrival[pin.index] = best_at
+                slew[pin.index] = best_slew
+                self._propagate_from(pin, arrival, slew)
+
+        report = self._report(arrival, slew)
+        report.pin_slack = self._backward_required(order, arrival, slew,
+                                                   report)
+        return report
+
+    def _backward_required(self, order: List[Pin],
+                           arrival: Dict[int, float],
+                           slew: Dict[int, float],
+                           report: TimingReport) -> Dict[int, float]:
+        """Propagate required times backwards; returns per-pin slack.
+
+        Required time at an endpoint is the clock period minus setup; it
+        moves upstream through wires (minus wire delay) and through cell
+        arcs (minus arc delay), taking the min over all fanout branches.
+        The optimizer uses the resulting per-pin slack to find the cells
+        that actually sit on critical paths.
+        """
+        lib_slew = self.netlist.library.primary_input_slew
+        period = self.clock.period - self.clock.uncertainty
+        required: Dict[int, float] = {}
+        for pin in self.netlist.timing_endpoints():
+            if pin.index not in arrival:
+                continue
+            setup = 0.0
+            if pin.cell is not None and pin.cell.is_sequential:
+                setup = pin.cell.ref.setup_time
+            required[pin.index] = period - setup
+
+        def relax(pin_idx: int, value: float) -> None:
+            cur = required.get(pin_idx)
+            if cur is None or value < cur:
+                required[pin_idx] = value
+
+        for pin in reversed(order):
+            # Wire first: the driver's required comes from its sinks, and
+            # is then pushed through the cell to the cell's inputs.
+            net = pin.net
+            if net is not None and not net.is_clock and net.driver is pin:
+                for sink in net.sinks:
+                    if sink.index in required:
+                        wd = self.parasitics.wire_delay(net, sink)
+                        relax(pin.index, required[sink.index] - wd)
+            if (pin.cell is not None and not pin.cell.is_sequential
+                    and pin.direction == "output"
+                    and pin.index in required):
+                cell = pin.cell
+                load = self.parasitics.net_load(net) if net else 0.0
+                for in_pin in cell.input_pins:
+                    arc = cell.ref.arc_for(in_pin.name)
+                    if arc is None or in_pin.index not in arrival:
+                        continue
+                    sl_in = slew.get(in_pin.index, lib_slew)
+                    delay = arc.delay.lookup(sl_in, load)
+                    relax(in_pin.index, required[pin.index] - delay)
+
+        return {idx: required[idx] - arrival[idx]
+                for idx in required if idx in arrival}
+
+    # ------------------------------------------------------------------
+    def _propagate_from(self, pin: Pin, arrival: Dict[int, float],
+                        slew: Dict[int, float]) -> None:
+        """Push arrival/slew across ``pin``'s net to every sink."""
+        net = pin.net
+        if net is None or net.is_clock or net.driver is not pin:
+            return
+        for sink in net.sinks:
+            at = arrival[pin.index] + self.parasitics.wire_delay(net, sink)
+            sl = slew[pin.index] + self.parasitics.slew_degradation(net, sink)
+            if at > arrival.get(sink.index, -np.inf):
+                arrival[sink.index] = at
+                slew[sink.index] = sl
+
+    def _levelize(self) -> Tuple[List[Pin], Dict[int, int]]:
+        """Topological order of pins along the combinational timing graph.
+
+        The unit of ordering is the *cell output pin*: a cell output is
+        ready once all its input pins' driving cells are ordered.  Net
+        fanout is applied eagerly when a driver is visited, so only cell
+        edges constrain the order.
+        """
+        # Count, for each combinational output pin, how many of its cell's
+        # input pins are driven by other combinational outputs.
+        dependents: Dict[int, List[Pin]] = {}
+        indegree: Dict[int, int] = {}
+        outputs: List[Pin] = []
+        for cell in self.netlist.combinational_cells:
+            out = cell.output_pin
+            outputs.append(out)
+            count = 0
+            for in_pin in cell.input_pins:
+                net = in_pin.net
+                if net is None or net.driver is None or net.is_clock:
+                    continue
+                driver = net.driver
+                if driver.cell is not None and not driver.cell.is_sequential:
+                    count += 1
+                    dependents.setdefault(driver.index, []).append(out)
+            indegree[out.index] = count
+
+        queue = deque(p for p in outputs if indegree[p.index] == 0)
+        order: List[Pin] = []
+        # Startpoints first so their fanout is propagated before use.
+        order.extend(self.netlist.primary_inputs)
+        order.extend(c.output_pin for c in self.netlist.sequential_cells)
+        seen = 0
+        while queue:
+            pin = queue.popleft()
+            order.append(pin)
+            seen += 1
+            for dep in dependents.get(pin.index, []):
+                indegree[dep.index] -= 1
+                if indegree[dep.index] == 0:
+                    queue.append(dep)
+        if seen != len(outputs):
+            raise ValueError(
+                "combinational loop detected: "
+                f"{len(outputs) - seen} cells unreachable"
+            )
+        return order, indegree
+
+    # ------------------------------------------------------------------
+    def _report(self, arrival: Dict[int, float],
+                slew: Dict[int, float]) -> TimingReport:
+        slack: Dict[int, float] = {}
+        endpoint_arrivals: Dict[str, float] = {}
+        period = self.clock.period - self.clock.uncertainty
+        for pin in self.netlist.timing_endpoints():
+            at = arrival.get(pin.index)
+            if at is None:
+                continue
+            setup = 0.0
+            if pin.cell is not None and pin.cell.is_sequential:
+                setup = pin.cell.ref.setup_time
+            slack[pin.index] = period - setup - at
+            endpoint_arrivals[pin.full_name] = at
+        return TimingReport(arrival=arrival, slew=slew, slack=slack,
+                            endpoint_arrivals=endpoint_arrivals,
+                            clock=self.clock)
+
+
+def run_sta(netlist: Netlist, parasitics: ParasiticsProvider,
+            clock: Optional[ClockConstraint] = None) -> TimingReport:
+    """Convenience wrapper around :class:`STAEngine`."""
+    return STAEngine(netlist, parasitics, clock).run()

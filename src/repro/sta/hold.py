@@ -1,0 +1,137 @@
+"""Hold (min-delay) analysis.
+
+Setup analysis asks whether the *slowest* path beats the clock period;
+hold analysis asks whether the *fastest* path through each endpoint is
+slow enough not to race the same clock edge.  The engine mirrors the
+setup PERT traversal with min-propagation and per-arc minimum delays.
+
+The paper only predicts max arrival times, but any STA substrate a
+downstream user would adopt needs both checks; the flow uses hold
+results as a sanity invariant (min arrival <= max arrival everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..netlist import Netlist, Pin
+from ..route.estimator import ParasiticsProvider
+from .constraints import ClockConstraint, derive_constraints
+
+
+@dataclass
+class HoldReport:
+    """Min-arrival times and hold slacks, keyed by pin index."""
+
+    min_arrival: Dict[int, float]
+    hold_slack: Dict[int, float]
+
+    @property
+    def worst_hold_slack(self) -> float:
+        return min(self.hold_slack.values()) if self.hold_slack else 0.0
+
+
+class HoldAnalyzer:
+    """Min-delay PERT traversal (the dual of the setup engine).
+
+    Min propagation takes the *minimum* over cell inputs and assumes the
+    fastest table corner (smallest slew index) for pessimism reduction.
+    Hold slack at a flop D pin is ``min_arrival - hold_time`` with a
+    simple per-library hold time of 25% of the setup time.
+    """
+
+    def __init__(self, netlist: Netlist, parasitics: ParasiticsProvider,
+                 clock: Optional[ClockConstraint] = None) -> None:
+        self.netlist = netlist
+        self.parasitics = parasitics
+        self.clock = clock or derive_constraints(netlist)
+
+    def run(self) -> HoldReport:
+        from collections import deque
+
+        lib_slew = self.netlist.library.primary_input_slew
+        arrival: Dict[int, float] = {}
+
+        # Levelize identically to the setup engine.
+        dependents: Dict[int, list] = {}
+        indegree: Dict[int, int] = {}
+        outputs = []
+        for cell in self.netlist.combinational_cells:
+            out = cell.output_pin
+            outputs.append(out)
+            count = 0
+            for in_pin in cell.input_pins:
+                net = in_pin.net
+                if net is None or net.driver is None or net.is_clock:
+                    continue
+                drv = net.driver
+                if drv.cell is not None and not drv.cell.is_sequential:
+                    count += 1
+                    dependents.setdefault(drv.index, []).append(out)
+            indegree[out.index] = count
+
+        def push(pin: Pin) -> None:
+            net = pin.net
+            if net is None or net.is_clock or net.driver is not pin:
+                return
+            for sink in net.sinks:
+                at = arrival[pin.index] \
+                    + self.parasitics.wire_delay(net, sink)
+                if at < arrival.get(sink.index, np.inf):
+                    arrival[sink.index] = at
+
+        for pin in self.netlist.primary_inputs:
+            arrival[pin.index] = 0.0
+            push(pin)
+        for cell in self.netlist.sequential_cells:
+            q = cell.output_pin
+            if q.net is None:
+                continue
+            arc = cell.ref.arc_for("CK")
+            load = self.parasitics.net_load(q.net)
+            arrival[q.index] = arc.delay.lookup(lib_slew, load)
+            push(q)
+
+        queue = deque(p for p in outputs if indegree[p.index] == 0)
+        while queue:
+            pin = queue.popleft()
+            cell = pin.cell
+            load = self.parasitics.net_load(pin.net) if pin.net else 0.0
+            best = None
+            for in_pin in cell.input_pins:
+                arc = cell.ref.arc_for(in_pin.name)
+                at_in = arrival.get(in_pin.index)
+                if arc is None or at_in is None:
+                    continue
+                # Fastest corner: the smallest tabulated slew.
+                delay = arc.delay.lookup(arc.delay.slew_axis[0], load)
+                candidate = at_in + delay
+                if best is None or candidate < best:
+                    best = candidate
+            if best is not None:
+                arrival[pin.index] = best
+                push(pin)
+            for dep in dependents.get(pin.index, []):
+                indegree[dep.index] -= 1
+                if indegree[dep.index] == 0:
+                    queue.append(dep)
+
+        hold_slack: Dict[int, float] = {}
+        for pin in self.netlist.timing_endpoints():
+            at = arrival.get(pin.index)
+            if at is None:
+                continue
+            hold_time = 0.0
+            if pin.cell is not None and pin.cell.is_sequential:
+                hold_time = 0.25 * pin.cell.ref.setup_time
+            hold_slack[pin.index] = at - hold_time
+        return HoldReport(min_arrival=arrival, hold_slack=hold_slack)
+
+
+def run_hold_sta(netlist: Netlist, parasitics: ParasiticsProvider,
+                 clock: Optional[ClockConstraint] = None) -> HoldReport:
+    """Convenience wrapper around :class:`HoldAnalyzer`."""
+    return HoldAnalyzer(netlist, parasitics, clock).run()

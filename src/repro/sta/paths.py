@@ -1,0 +1,155 @@
+"""Critical-path extraction and timing reports.
+
+Real signoff tools report, for each of the N worst endpoints, the full
+path from its launching startpoint with a per-stage delay breakdown.
+This module reconstructs those paths from a PERT run by re-tracing the
+worst-arrival predecessor of every pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..netlist import Netlist, Pin
+from ..route.estimator import ParasiticsProvider
+from .engine import STAEngine, TimingReport
+
+
+@dataclass
+class PathStage:
+    """One hop of a timing path.
+
+    ``kind`` is ``"cell"`` (through a gate) or ``"net"`` (across a wire);
+    ``incr`` is the stage's delay contribution and ``arrival`` the
+    cumulative arrival time at ``pin``.
+    """
+
+    pin: str
+    kind: str
+    incr: float
+    arrival: float
+
+
+@dataclass
+class TimingPath:
+    """A complete startpoint→endpoint path with its breakdown."""
+
+    startpoint: str
+    endpoint: str
+    arrival: float
+    slack: float
+    stages: List[PathStage] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Number of cell stages on the path."""
+        return sum(1 for s in self.stages if s.kind == "cell")
+
+    def format(self) -> str:
+        """Render like a signoff timing report."""
+        lines = [
+            f"Startpoint: {self.startpoint}",
+            f"Endpoint:   {self.endpoint}",
+            f"Arrival:    {self.arrival:.4f} ns   "
+            f"Slack: {self.slack:+.4f} ns",
+            f"{'pin':>28} {'kind':>5} {'incr':>8} {'arrival':>9}",
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"{stage.pin:>28} {stage.kind:>5} "
+                f"{stage.incr:>8.4f} {stage.arrival:>9.4f}"
+            )
+        return "\n".join(lines)
+
+
+class PathTracer:
+    """Re-derives worst paths from a completed :class:`TimingReport`.
+
+    Works by walking backwards from an endpoint: at a net sink, step to
+    the net's driver; at a combinational cell output, step to the input
+    pin whose arrival plus arc delay reproduces the output arrival (the
+    worst input).  Stops at primary inputs and flop Q pins.
+    """
+
+    def __init__(self, netlist: Netlist, parasitics: ParasiticsProvider,
+                 report: TimingReport) -> None:
+        self.netlist = netlist
+        self.parasitics = parasitics
+        self.report = report
+
+    # ------------------------------------------------------------------
+    def trace(self, endpoint: Pin) -> TimingPath:
+        """Reconstruct the worst path ending at ``endpoint``."""
+        arrival = self.report.arrival
+        slew = self.report.slew
+        lib_slew = self.netlist.library.primary_input_slew
+
+        stages: List[PathStage] = []
+        pin = endpoint
+        guard = 0
+        while guard < 100_000:
+            guard += 1
+            at = arrival.get(pin.index, 0.0)
+            if pin.direction == "input":
+                net = pin.net
+                if net is None or net.driver is None or net.is_clock:
+                    break
+                driver = net.driver
+                incr = self.parasitics.wire_delay(net, pin)
+                stages.append(PathStage(pin.full_name, "net", incr, at))
+                pin = driver
+                continue
+            # Output pin: either a startpoint or a combinational output.
+            cell = pin.cell
+            if cell is None or cell.is_sequential:
+                stages.append(PathStage(pin.full_name, "start",
+                                        0.0, at))
+                break
+            load = self.parasitics.net_load(pin.net) if pin.net else 0.0
+            best_pin, best_err, best_incr = None, float("inf"), 0.0
+            for in_pin in cell.input_pins:
+                arc = cell.ref.arc_for(in_pin.name)
+                at_in = arrival.get(in_pin.index)
+                if arc is None or at_in is None:
+                    continue
+                sl_in = slew.get(in_pin.index, lib_slew)
+                delay = arc.delay.lookup(sl_in, load)
+                err = abs(at_in + delay - at)
+                if err < best_err:
+                    best_pin, best_err, best_incr = in_pin, err, delay
+            if best_pin is None:
+                break
+            stages.append(PathStage(pin.full_name, "cell", best_incr, at))
+            pin = best_pin
+
+        stages.reverse()
+        startpoint = stages[0].pin if stages else endpoint.full_name
+        at = arrival.get(endpoint.index, 0.0)
+        return TimingPath(
+            startpoint=startpoint,
+            endpoint=endpoint.full_name,
+            arrival=at,
+            slack=self.report.slack.get(endpoint.index, 0.0),
+            stages=stages,
+        )
+
+    def worst_paths(self, n: int = 10) -> List[TimingPath]:
+        """The ``n`` paths with the worst slack, traced in full."""
+        endpoints = sorted(
+            (p for p in self.netlist.timing_endpoints()
+             if p.index in self.report.slack),
+            key=lambda p: self.report.slack[p.index],
+        )
+        return [self.trace(p) for p in endpoints[:n]]
+
+
+def report_worst_paths(netlist: Netlist, parasitics: ParasiticsProvider,
+                       n: int = 5,
+                       report: Optional[TimingReport] = None) -> str:
+    """Run STA (if needed) and render the n worst paths as text."""
+    if report is None:
+        report = STAEngine(netlist, parasitics).run()
+    tracer = PathTracer(netlist, parasitics, report)
+    blocks = [path.format() for path in tracer.worst_paths(n)]
+    return ("\n" + "-" * 60 + "\n").join(blocks)

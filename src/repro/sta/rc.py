@@ -1,0 +1,99 @@
+"""RC trees and Elmore delay (the linear STA interconnect model).
+
+The paper contrasts ML prediction against the classic linear RC model
+(Elmore [1]); our signoff STA uses Elmore on the router's RC trees, and
+the pre-route estimator uses it on star topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree.
+
+    ``parent`` is the index of the upstream node (-1 for the root), ``res``
+    the resistance of the wire segment from the parent (kOhm), and ``cap``
+    the capacitance lumped at this node (pF).
+    """
+
+    index: int
+    parent: int
+    res: float
+    cap: float
+
+
+class RCTree:
+    """A grounded RC tree rooted at a net's driver pin.
+
+    Nodes must be added parent-before-child (the constructor of each node
+    references an existing parent), which keeps traversals allocation-free.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[RCNode] = [RCNode(0, -1, 0.0, 0.0)]
+        self.sink_node: Dict[int, int] = {}  # pin index -> tree node
+
+    def add_node(self, parent: int, res: float, cap: float) -> int:
+        """Append a node hanging from ``parent``; returns its index."""
+        if not 0 <= parent < len(self.nodes):
+            raise ValueError(f"parent {parent} does not exist")
+        if res < 0 or cap < 0:
+            raise ValueError("resistance and capacitance must be >= 0")
+        node = RCNode(len(self.nodes), parent, res, cap)
+        self.nodes.append(node)
+        return node.index
+
+    def attach_sink(self, pin_index: int, node: int, pin_cap: float) -> None:
+        """Register a sink pin at ``node`` and lump its input cap there."""
+        self.nodes[node].cap += pin_cap
+        self.sink_node[pin_index] = node
+
+    def add_root_cap(self, cap: float) -> None:
+        self.nodes[0].cap += cap
+
+    # ------------------------------------------------------------------
+    def total_cap(self) -> float:
+        """Total capacitance the driver sees (pF)."""
+        return sum(n.cap for n in self.nodes)
+
+    def downstream_caps(self) -> np.ndarray:
+        """Capacitance hanging at-or-below every node."""
+        down = np.array([n.cap for n in self.nodes])
+        for node in reversed(self.nodes[1:]):
+            down[node.parent] += down[node.index]
+        return down
+
+    def elmore_delays(self) -> np.ndarray:
+        """Elmore delay from the root to every node (ns).
+
+        ``delay(v) = sum over edges e on root->v path of R_e * C_down(e)``.
+        """
+        down = self.downstream_caps()
+        delays = np.zeros(len(self.nodes))
+        for node in self.nodes[1:]:
+            delays[node.index] = delays[node.parent] + node.res * down[node.index]
+        return delays
+
+    def sink_delays(self) -> Dict[int, float]:
+        """Elmore delay to every registered sink pin, keyed by pin index."""
+        delays = self.elmore_delays()
+        return {pin: float(delays[node])
+                for pin, node in self.sink_node.items()}
+
+    def slew_degradations(self) -> Dict[int, float]:
+        """Per-sink slew degradation estimate (ns).
+
+        Uses the standard approximation that the step response of an RC
+        stage stretches the transition by ~ln(9) * Elmore of the stage.
+        """
+        ln9 = float(np.log(9.0))
+        return {pin: ln9 * delay for pin, delay in self.sink_delays().items()}
+
+    def __len__(self) -> int:
+        return len(self.nodes)

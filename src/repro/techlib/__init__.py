@@ -1,0 +1,34 @@
+"""Synthetic technology libraries (PDK substitute).
+
+Two nodes are provided, mirroring the paper's setting:
+
+- :func:`make_sky130_library` — the 130nm source node (abundant data)
+- :func:`make_asap7_library` — the 7nm target node (scarce data)
+"""
+
+from .asap7 import make_asap7_library
+from .cell import StandardCell, TimingArc, TimingTable
+from .library import (
+    GENERIC_FUNCTIONS,
+    TechLibrary,
+    WireModel,
+    build_cell,
+    merged_cell_vocabulary,
+)
+from .scaling import make_interpolated_node, scale_library
+from .sky130 import make_sky130_library
+
+__all__ = [
+    "GENERIC_FUNCTIONS",
+    "StandardCell",
+    "TechLibrary",
+    "TimingArc",
+    "TimingTable",
+    "WireModel",
+    "build_cell",
+    "make_asap7_library",
+    "make_interpolated_node",
+    "make_sky130_library",
+    "scale_library",
+    "merged_cell_vocabulary",
+]

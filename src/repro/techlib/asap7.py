@@ -1,0 +1,72 @@
+"""Synthetic 7nm library (ASAP7-flavoured).
+
+This is the *target advanced node* of the paper.  Gate delays are a few
+picoseconds, input capacitances are sub-femtofarad, wires are relatively
+more resistive, and the cell mix differs from the 130nm library (3-input
+NAND/NOR and XNOR exist; discrete AND/OR do not and must be decomposed by
+the mapper).  Together with the disjoint cell-name vocabulary this creates
+exactly the node-dependent distribution shift the paper's transfer
+learning framework has to bridge.
+"""
+
+from __future__ import annotations
+
+from .library import TechLibrary, WireModel, build_cell
+
+#: NLDM grid: input slew breakpoints (ns) and load breakpoints (pF).
+SLEW_AXIS = (0.002, 0.005, 0.010, 0.020, 0.050, 0.100, 0.200)
+LOAD_AXIS = (0.0001, 0.0003, 0.0006, 0.0012, 0.0025, 0.0050, 0.0100)
+
+#: (function, n_inputs, intrinsic ns, unit drive res kOhm, input cap pF,
+#:  area um^2, leakage)
+_COMB_SPECS = (
+    ("INV", 1, 0.0028, 3.5, 0.00045, 0.054, 0.02),
+    ("BUF", 1, 0.0050, 3.0, 0.00050, 0.073, 0.03),
+    ("NAND2", 2, 0.0042, 4.2, 0.00055, 0.073, 0.03),
+    ("NAND3", 3, 0.0055, 5.0, 0.00060, 0.092, 0.04),
+    ("NOR2", 2, 0.0050, 4.8, 0.00058, 0.073, 0.03),
+    ("NOR3", 3, 0.0068, 5.6, 0.00062, 0.092, 0.04),
+    ("XOR2", 2, 0.0095, 4.6, 0.00085, 0.128, 0.06),
+    ("XNOR2", 2, 0.0092, 4.6, 0.00085, 0.128, 0.06),
+    ("MUX2", 3, 0.0090, 4.4, 0.00075, 0.146, 0.07),
+    ("AOI21", 3, 0.0068, 4.9, 0.00062, 0.110, 0.05),
+    ("OAI21", 3, 0.0066, 4.8, 0.00062, 0.110, 0.05),
+)
+
+_DRIVES = (1.0, 2.0, 3.0, 6.0)
+
+
+def _cells() -> list:
+    cells = []
+    for function, n_in, intrinsic, res, cap, area, leak in _COMB_SPECS:
+        for drive in _DRIVES:
+            name = f"asap_{function.lower()}_x{int(drive)}"
+            cells.append(build_cell(
+                name=name, function=function, drive=drive, n_inputs=n_in,
+                intrinsic=intrinsic, unit_drive_res=res, input_cap=cap,
+                slew_axis=SLEW_AXIS, load_axis=LOAD_AXIS, area=area,
+                leakage=leak,
+            ))
+    for drive in (1.0, 2.0, 3.0):
+        name = f"asap_dff_x{int(drive)}"
+        cells.append(build_cell(
+            name=name, function="DFF", drive=drive, n_inputs=2,
+            intrinsic=0.0, unit_drive_res=4.0, input_cap=0.00065,
+            slew_axis=SLEW_AXIS, load_axis=LOAD_AXIS, area=0.270,
+            leakage=0.10, is_sequential=True, setup_time=0.010,
+            clk_to_q=0.022,
+        ))
+    return cells
+
+
+def make_asap7_library() -> TechLibrary:
+    """Build the synthetic 7nm library."""
+    return TechLibrary(
+        name="asap7_synth",
+        node_nm=7.0,
+        cells=_cells(),
+        wire=WireModel(res_per_um=0.030, cap_per_um=0.00016),
+        site=(0.054, 0.270),
+        default_clock_period=0.80,
+        primary_input_slew=0.008,
+    )

@@ -1,0 +1,198 @@
+"""Technology library: a node's standard cells plus interconnect data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cell import StandardCell, TimingArc, TimingTable
+
+#: Generic logic functions a netlist generator may emit.  Tech mapping
+#: lowers these onto whatever cells a given library actually provides.
+GENERIC_FUNCTIONS = (
+    "INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3", "AND2", "OR2",
+    "XOR2", "XNOR2", "MUX2", "AOI21", "OAI21", "DFF",
+)
+
+
+@dataclass
+class WireModel:
+    """Per-unit-length interconnect parasitics for a metal stack.
+
+    Attributes
+    ----------
+    res_per_um:
+        Wire resistance in kOhm/um.
+    cap_per_um:
+        Wire capacitance in pF/um.
+    """
+
+    res_per_um: float
+    cap_per_um: float
+
+    def rc(self, length_um: float) -> Tuple[float, float]:
+        """Total (resistance, capacitance) of a wire of given length."""
+        return self.res_per_um * length_um, self.cap_per_um * length_um
+
+
+class TechLibrary:
+    """A synthetic PDK: cells, wire model and node-level constants.
+
+    Parameters
+    ----------
+    name:
+        Library identifier, e.g. ``"sky130_synth"``.
+    node_nm:
+        Feature size in nanometres (130 or 7 here).
+    cells:
+        The standard cells available at this node.
+    wire:
+        Per-unit interconnect parasitics.
+    site:
+        (width, height) of a placement site in um; cell widths are
+        multiples of the site width.
+    default_clock_period:
+        A sensible clock period (ns) for designs at this node; used by the
+        flow to derive timing constraints the way Genus estimates do.
+    primary_input_slew:
+        Transition time (ns) assumed at primary inputs.
+    """
+
+    def __init__(self, name: str, node_nm: float,
+                 cells: Iterable[StandardCell], wire: WireModel,
+                 site: Tuple[float, float], default_clock_period: float,
+                 primary_input_slew: float) -> None:
+        self.name = name
+        self.node_nm = node_nm
+        self.cells: Dict[str, StandardCell] = {c.name: c for c in cells}
+        self.wire = wire
+        self.site = site
+        self.default_clock_period = default_clock_period
+        self.primary_input_slew = primary_input_slew
+        self._by_function: Dict[str, List[StandardCell]] = {}
+        for cell in self.cells.values():
+            self._by_function.setdefault(cell.function, []).append(cell)
+        for group in self._by_function.values():
+            group.sort(key=lambda c: c.drive_strength)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, name: str) -> StandardCell:
+        """Look up a cell by name."""
+        return self.cells[name]
+
+    @property
+    def functions(self) -> List[str]:
+        """Sorted list of generic functions this library implements."""
+        return sorted(self._by_function)
+
+    def cells_for(self, function: str) -> List[StandardCell]:
+        """All cells implementing ``function``, sorted by drive strength."""
+        return list(self._by_function.get(function, []))
+
+    def pick(self, function: str, drive: float = 1.0) -> StandardCell:
+        """Cell implementing ``function`` with drive closest to ``drive``.
+
+        Raises
+        ------
+        KeyError
+            If the library has no cell for ``function``; the tech mapper is
+            responsible for decomposing such functions first.
+        """
+        group = self._by_function.get(function)
+        if not group:
+            raise KeyError(f"{self.name} has no cell for function {function}")
+        return min(group, key=lambda c: abs(c.drive_strength - drive))
+
+    def upsize(self, cell: StandardCell) -> Optional[StandardCell]:
+        """Next stronger cell of the same function, or None at the top."""
+        group = self._by_function[cell.function]
+        idx = group.index(cell)
+        return group[idx + 1] if idx + 1 < len(group) else None
+
+    def downsize(self, cell: StandardCell) -> Optional[StandardCell]:
+        """Next weaker cell of the same function, or None at the bottom."""
+        group = self._by_function[cell.function]
+        idx = group.index(cell)
+        return group[idx - 1] if idx > 0 else None
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used in documentation and tests."""
+        areas = [c.area for c in self.cells.values()]
+        caps = [cap for c in self.cells.values() for cap in c.pin_caps.values()]
+        return {
+            "num_cells": float(len(self.cells)),
+            "num_functions": float(len(self._by_function)),
+            "mean_area": float(np.mean(areas)),
+            "mean_input_cap": float(np.mean(caps)),
+        }
+
+    def __repr__(self) -> str:
+        return (f"TechLibrary({self.name}, {self.node_nm}nm, "
+                f"{len(self.cells)} cells)")
+
+
+def build_cell(name: str, function: str, drive: float, n_inputs: int,
+               intrinsic: float, unit_drive_res: float, input_cap: float,
+               slew_axis: Sequence[float], load_axis: Sequence[float],
+               area: float, leakage: float, slew_gain: float = 0.8,
+               is_sequential: bool = False, setup_time: float = 0.0,
+               clk_to_q: float = 0.0) -> StandardCell:
+    """Construct a :class:`StandardCell` from first-order electrical params.
+
+    The delay table is generated from the linear model
+    ``delay = intrinsic/drive_factor + (unit_drive_res/drive) * load +
+    0.25 * slew`` and the slew table from a similar expression — the same
+    shape real NLDM tables have, with stronger drives having lower
+    resistance but proportionally larger input capacitance and area.
+    """
+    drive_res = unit_drive_res / drive
+    intrinsic_d = intrinsic * (0.7 + 0.3 / drive)
+    if is_sequential:
+        input_names = ["D", "CK"]
+        output = "Q"
+        arc_inputs = ["CK"]
+    else:
+        input_names = [chr(ord("A") + i) for i in range(n_inputs)]
+        output = "Y"
+        arc_inputs = input_names
+    arcs = []
+    for pin in arc_inputs:
+        delay = TimingTable.from_linear_model(
+            slew_axis, load_axis,
+            intrinsic=intrinsic_d if not is_sequential else clk_to_q,
+            drive_res=drive_res, slew_sensitivity=0.25,
+            curvature=0.05 * drive_res,
+        )
+        out_slew = TimingTable.from_linear_model(
+            slew_axis, load_axis, intrinsic=0.3 * intrinsic_d,
+            drive_res=slew_gain * drive_res, slew_sensitivity=0.1,
+            curvature=0.02 * drive_res,
+        )
+        arcs.append(TimingArc(pin, output, delay, out_slew))
+    pin_caps = {pin: input_cap * (0.6 + 0.4 * drive) for pin in input_names}
+    return StandardCell(
+        name=name, function=function, drive_strength=drive,
+        input_pins=input_names, output_pin=output, pin_caps=pin_caps,
+        arcs=arcs, area=area * (0.7 + 0.3 * drive), leakage=leakage * drive,
+        is_sequential=is_sequential, setup_time=setup_time, clk_to_q=clk_to_q,
+    )
+
+
+def merged_cell_vocabulary(libraries: Iterable[TechLibrary]) -> List[str]:
+    """Union of all cell names across libraries, sorted.
+
+    The paper one-hot encodes the gate type over the merged gate set of all
+    technology nodes; this is that merged set.
+    """
+    names: set = set()
+    for lib in libraries:
+        names.update(lib.cells)
+    return sorted(names)

@@ -1,0 +1,114 @@
+"""Derived technology libraries by parameter scaling.
+
+Real PDK generations shrink geometrically; this module synthesises
+*intermediate* nodes by log-space interpolation between the two anchor
+libraries (130nm and 7nm), or scales a single library by explicit
+factors.  Useful for multi-node transfer studies beyond the paper's
+two-node setting (e.g. 130nm -> 45nm -> 7nm chains).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .asap7 import make_asap7_library
+from .cell import StandardCell, TimingArc, TimingTable
+from .library import TechLibrary, WireModel
+from .sky130 import make_sky130_library
+
+
+def scale_library(library: TechLibrary, name: str, node_nm: float,
+                  delay_factor: float, cap_factor: float,
+                  area_factor: float) -> TechLibrary:
+    """Produce a copy of ``library`` with scaled electrical parameters.
+
+    Delay tables (values *and* slew axes), pin capacitances (and load
+    axes), areas, leakage, sequential constraints, wire parasitics, site
+    geometry, and the node-level defaults all scale coherently, so the
+    derived library is immediately usable by the whole flow.
+    """
+    if min(delay_factor, cap_factor, area_factor) <= 0:
+        raise ValueError("scale factors must be positive")
+
+    def scale_table(table: TimingTable) -> TimingTable:
+        return TimingTable(
+            slew_axis=table.slew_axis * delay_factor,
+            load_axis=table.load_axis * cap_factor,
+            values=table.values * delay_factor,
+        )
+
+    linear = math.sqrt(area_factor)
+    cells = []
+    for cell in library.cells.values():
+        arcs = [
+            TimingArc(a.input_pin, a.output_pin,
+                      scale_table(a.delay), scale_table(a.output_slew))
+            for a in cell.arcs
+        ]
+        cells.append(StandardCell(
+            name=cell.name.replace(library.name.split("_")[0],
+                                   name.split("_")[0], 1),
+            function=cell.function,
+            drive_strength=cell.drive_strength,
+            input_pins=list(cell.input_pins),
+            output_pin=cell.output_pin,
+            pin_caps={p: c * cap_factor
+                      for p, c in cell.pin_caps.items()},
+            arcs=arcs,
+            area=cell.area * area_factor,
+            leakage=cell.leakage * area_factor,
+            is_sequential=cell.is_sequential,
+            setup_time=cell.setup_time * delay_factor,
+            clk_to_q=cell.clk_to_q * delay_factor,
+        ))
+    return TechLibrary(
+        name=name,
+        node_nm=node_nm,
+        cells=cells,
+        wire=WireModel(
+            res_per_um=library.wire.res_per_um / linear,
+            cap_per_um=library.wire.cap_per_um * linear,
+        ),
+        site=(library.site[0] * linear, library.site[1] * linear),
+        default_clock_period=library.default_clock_period * delay_factor,
+        primary_input_slew=library.primary_input_slew * delay_factor,
+    )
+
+
+def make_interpolated_node(node_nm: float,
+                           name: Optional[str] = None) -> TechLibrary:
+    """Synthesise an intermediate node between 7nm and 130nm.
+
+    Interpolates delay/cap/area factors in log space against the 130nm
+    anchor, using the two real anchors to set the scaling exponents.
+    The derived library keeps the 130nm *cell mix* (it descends from
+    sky130), which is realistic: older-flavoured libraries persist for
+    several generations.
+    """
+    if not 7.0 <= node_nm <= 130.0:
+        raise ValueError("interpolation range is [7, 130] nm")
+    sky = make_sky130_library()
+    asap = make_asap7_library()
+
+    # Position of the target node between the anchors, in log-nm space.
+    t = (math.log(130.0) - math.log(node_nm)) \
+        / (math.log(130.0) - math.log(7.0))
+
+    def anchor_ratio(get) -> float:
+        return get(asap) / get(sky)
+
+    delay_ratio = anchor_ratio(
+        lambda lib: lib.pick("INV", 1.0).arcs[0].delay.values.mean()
+    )
+    cap_ratio = anchor_ratio(lambda lib: lib.pick("INV", 1.0)
+                             .input_cap("A"))
+    area_ratio = anchor_ratio(lambda lib: lib.pick("INV", 1.0).area)
+
+    name = name or f"synth{int(node_nm)}"
+    return scale_library(
+        sky, name=name, node_nm=node_nm,
+        delay_factor=delay_ratio ** t,
+        cap_factor=cap_ratio ** t,
+        area_factor=area_ratio ** t,
+    )

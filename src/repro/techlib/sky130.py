@@ -1,0 +1,74 @@
+"""Synthetic 130nm library (SkyWater-flavoured).
+
+This is the *source preceding node* of the paper.  The electrical constants
+are first-order realistic for a 130nm process: gate delays of tens to
+hundreds of picoseconds, input capacitances of a few femtofarads, and a
+~10 ns-class clock.  The exact values are synthetic — the real SkyWater
+PDK is not redistributed here — but they are chosen so that the arrival
+time distribution sits roughly an order of magnitude above the 7nm node's,
+reproducing the distribution gap in Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from .library import TechLibrary, WireModel, build_cell
+
+#: NLDM grid: input slew breakpoints (ns) and load breakpoints (pF).
+SLEW_AXIS = (0.02, 0.08, 0.20, 0.45, 0.90, 1.80, 3.60)
+LOAD_AXIS = (0.001, 0.005, 0.010, 0.020, 0.050, 0.100, 0.200)
+
+#: (function, n_inputs, intrinsic ns, unit drive res kOhm, input cap pF,
+#:  area um^2, leakage)
+#: Delay constants are ~4x a typical 130nm gate so that the node's
+#: arrival-time distribution is cleanly separated from the 7nm one, as
+#: in the paper's Figure 6 (their 130nm ATs sit an order of magnitude
+#: above 7nm with little overlap).
+_COMB_SPECS = (
+    ("INV", 1, 0.120, 7.2, 0.0035, 3.75, 0.8),
+    ("BUF", 1, 0.220, 6.0, 0.0040, 5.00, 1.0),
+    ("NAND2", 2, 0.180, 8.8, 0.0045, 5.00, 1.2),
+    ("NOR2", 2, 0.240, 11.2, 0.0048, 5.00, 1.2),
+    ("AND2", 2, 0.300, 8.0, 0.0046, 6.25, 1.5),
+    ("OR2", 2, 0.340, 8.4, 0.0047, 6.25, 1.5),
+    ("XOR2", 2, 0.440, 10.4, 0.0070, 8.75, 2.2),
+    ("MUX2", 3, 0.420, 9.6, 0.0060, 10.00, 2.4),
+    ("AOI21", 3, 0.320, 10.8, 0.0052, 7.50, 1.8),
+    ("OAI21", 3, 0.312, 10.4, 0.0052, 7.50, 1.8),
+)
+
+_DRIVES = (1.0, 2.0, 4.0)
+
+
+def _cells() -> list:
+    cells = []
+    for function, n_in, intrinsic, res, cap, area, leak in _COMB_SPECS:
+        for drive in _DRIVES:
+            name = f"sky_{function.lower()}_x{int(drive)}"
+            cells.append(build_cell(
+                name=name, function=function, drive=drive, n_inputs=n_in,
+                intrinsic=intrinsic, unit_drive_res=res, input_cap=cap,
+                slew_axis=SLEW_AXIS, load_axis=LOAD_AXIS, area=area,
+                leakage=leak,
+            ))
+    for drive in (1.0, 2.0):
+        name = f"sky_dff_x{int(drive)}"
+        cells.append(build_cell(
+            name=name, function="DFF", drive=drive, n_inputs=2,
+            intrinsic=0.0, unit_drive_res=8.0, input_cap=0.0050,
+            slew_axis=SLEW_AXIS, load_axis=LOAD_AXIS, area=20.0,
+            leakage=3.0, is_sequential=True, setup_time=0.50, clk_to_q=1.00,
+        ))
+    return cells
+
+
+def make_sky130_library() -> TechLibrary:
+    """Build the synthetic 130nm library."""
+    return TechLibrary(
+        name="sky130_synth",
+        node_nm=130.0,
+        cells=_cells(),
+        wire=WireModel(res_per_um=0.0008, cap_per_um=0.00020),
+        site=(0.46, 2.72),
+        default_clock_period=25.0,
+        primary_input_slew=0.15,
+    )

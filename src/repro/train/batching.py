@@ -1,0 +1,37 @@
+"""Endpoint minibatching for per-design training steps."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..flow import DesignData
+
+
+def sample_endpoints(design: DesignData, batch_size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Sample endpoint indices of one design (without replacement).
+
+    Returns all endpoints when the design has fewer than ``batch_size``.
+    """
+    n = design.num_endpoints
+    if n <= batch_size:
+        return np.arange(n)
+    return rng.choice(n, size=batch_size, replace=False)
+
+
+def sample_from_pool(pool: np.ndarray, batch_size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Sample ``batch_size`` endpoint indices from an explicit pool."""
+    if len(pool) <= batch_size:
+        return np.asarray(pool)
+    return rng.choice(pool, size=batch_size, replace=False)
+
+
+def split_by_node(designs: Sequence[DesignData]
+                  ) -> Tuple[List[DesignData], List[DesignData]]:
+    """Partition designs into (source/130nm, target/7nm) lists."""
+    source = [d for d in designs if d.node == "130nm"]
+    target = [d for d in designs if d.node == "7nm"]
+    return source, target

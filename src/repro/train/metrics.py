@@ -1,0 +1,57 @@
+"""Regression metrics used throughout the evaluation (R^2, MAE, RMSE)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..flow import DesignData
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Matches the paper's headline metric.  Can be negative when the model
+    is worse than predicting the mean (as DAC23-SimpleMerge is in
+    Table 2).
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between targets and predictions")
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else float("-inf")
+    return 1.0 - ss_res / ss_tot
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(np.asarray(y_true) - np.asarray(y_pred))))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(np.mean(
+        (np.asarray(y_true) - np.asarray(y_pred)) ** 2
+    )))
+
+
+def evaluate_per_design(predict: Callable[[DesignData], np.ndarray],
+                        designs: Sequence[DesignData]
+                        ) -> Dict[str, Dict[str, float]]:
+    """Run ``predict`` on each design and score it.
+
+    Returns ``{design_name: {"r2": ..., "mae": ..., "rmse": ...}}``.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for design in designs:
+        pred = predict(design)
+        results[design.name] = {
+            "r2": r2_score(design.labels, pred),
+            "mae": mae(design.labels, pred),
+            "rmse": rmse(design.labels, pred),
+        }
+    return results

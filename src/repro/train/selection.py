@@ -1,0 +1,100 @@
+"""Validation-based checkpoint selection on held-out target-node paths.
+
+With only one target-node training design, the final iterate of any
+training run is noisy: two seeds can converge to solutions whose
+target-node generalization differs wildly.  The standard remedy is to
+hold out a slice of the *training* data as validation and keep the best
+checkpoint.  Here the holdout is a fraction of the 7nm training
+endpoints — no test data is ever touched — and the same selector is
+offered to every strategy (ours and the DAC23 baselines alike), keeping
+the Table-2 comparison fair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..flow import DesignData
+from .metrics import r2_score
+
+
+class HoldoutSelector:
+    """Splits target-node endpoints into train/validation pools.
+
+    Parameters
+    ----------
+    designs:
+        All training designs; only target-node (7nm) ones are split.
+    fraction:
+        Fraction of each target design's endpoints held out.
+    seed:
+        Split seed (fixed per experiment so all strategies see the same
+        validation set).
+    """
+
+    def __init__(self, designs: Sequence[DesignData],
+                 fraction: float = 0.25, seed: int = 0,
+                 target_node: str = "7nm") -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("holdout fraction must be in (0, 1)")
+        self.target_node = target_node
+        rng = np.random.default_rng(seed)
+        self._train_pool: Dict[str, np.ndarray] = {}
+        self._val_pool: Dict[str, np.ndarray] = {}
+        self.val_designs: List[DesignData] = []
+        for design in designs:
+            if design.node != target_node:
+                continue
+            k = design.num_endpoints
+            n_val = max(1, int(fraction * k)) if k > 3 else 0
+            perm = rng.permutation(k)
+            self._val_pool[design.name] = np.sort(perm[:n_val])
+            self._train_pool[design.name] = np.sort(perm[n_val:])
+            if n_val:
+                self.val_designs.append(design)
+
+    # ------------------------------------------------------------------
+    def training_pool(self, design: DesignData) -> Optional[np.ndarray]:
+        """Endpoint indices a trainer may sample from (None = all)."""
+        return self._train_pool.get(design.name)
+
+    def validation_pool(self, design: DesignData) -> np.ndarray:
+        return self._val_pool[design.name]
+
+    def validate(self, predict: Callable[[DesignData, np.ndarray],
+                                         np.ndarray]) -> float:
+        """Mean held-out R^2 across target designs.
+
+        ``predict(design, endpoint_subset)`` must return predictions for
+        exactly those endpoints.
+        """
+        scores = []
+        for design in self.val_designs:
+            idx = self._val_pool[design.name]
+            pred = predict(design, idx)
+            scores.append(r2_score(design.labels[idx], pred))
+        return float(np.mean(scores)) if scores else float("-inf")
+
+
+class CheckpointKeeper:
+    """Tracks the best-validation parameter snapshot of a module."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.best_score = float("-inf")
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def offer(self, score: float) -> bool:
+        """Record the current parameters if ``score`` is the best so far."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_state = self.module.state_dict()
+            return True
+        return False
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the module (if any)."""
+        if self.best_state is not None:
+            self.module.load_state_dict(self.best_state)

@@ -1,0 +1,118 @@
+"""Tests for the analysis/reporting module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_profile,
+    compare_models,
+    congestion_summary,
+    design_summary,
+    elmore_baseline_profile,
+    full_report,
+    slack_histogram,
+    timing_summary,
+    top_k_overlap,
+)
+from repro.features import GateVocabulary
+from repro.flow import run_flow
+from repro.netlist import make_design, map_design
+from repro.place import place_design
+from repro.route import GlobalRouter, PreRouteEstimator
+from repro.sta import run_sta
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def placed():
+    lib = make_asap7_library()
+    nl = map_design(make_design("arm9"), lib)
+    fp = place_design(nl, seed=1)
+    return nl, fp
+
+
+@pytest.fixture(scope="module")
+def design_data():
+    libraries = {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+    vocab = GateVocabulary(list(libraries.values()))
+    return run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                    resolution=16)
+
+
+class TestDesignSummary:
+    def test_counts_match_netlist(self, placed):
+        nl, fp = placed
+        summary = design_summary(nl, fp)
+        assert summary.cells == len(nl.cells)
+        assert summary.sequential == len(nl.sequential_cells)
+        assert sum(summary.gate_mix.values()) == summary.cells
+        assert 0 < summary.utilization < 1.0
+
+    def test_format_mentions_gates(self, placed):
+        nl, fp = placed
+        text = design_summary(nl, fp).format()
+        assert "gate mix" in text
+        assert "DFF" in text
+
+
+class TestTimingSummary:
+    def test_histogram_covers_all_endpoints(self, placed):
+        nl, _ = placed
+        report = run_sta(nl, PreRouteEstimator(nl))
+        rows = slack_histogram(report, bins=6)
+        assert sum(c for _, _, c in rows) == len(report.slack)
+
+    def test_render(self, placed):
+        nl, _ = placed
+        report = run_sta(nl, PreRouteEstimator(nl))
+        text = timing_summary(report)
+        assert "WNS" in text and "slack histogram" in text
+
+
+class TestCongestionSummary:
+    def test_render(self, placed):
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        text = congestion_summary(router)
+        assert "hot spots" in text
+        assert "wirelength" in text
+
+    def test_full_report_sections(self, placed):
+        nl, fp = placed
+        report = run_sta(nl, PreRouteEstimator(nl))
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        text = full_report(nl, fp, report, router)
+        assert "gate mix" in text and "WNS" in text \
+            and "hot spots" in text
+
+
+class TestAccuracy:
+    def test_top_k_overlap_bounds(self):
+        truth = np.arange(10.0)
+        assert top_k_overlap(truth, truth, 5) == 1.0
+        assert top_k_overlap(truth, -truth, 3) == 0.0
+        assert top_k_overlap(truth, truth, 100) == 1.0  # clamped k
+
+    def test_perfect_predictor_profile(self, design_data):
+        profile = accuracy_profile(design_data, lambda d: d.labels)
+        assert profile.r2 == pytest.approx(1.0)
+        assert profile.rank_correlation == pytest.approx(1.0)
+        assert profile.top_k_overlap[5] == 1.0
+
+    def test_elmore_baseline_profile(self, design_data):
+        profile = elmore_baseline_profile(design_data)
+        assert np.isfinite(profile.r2)
+        assert 0.0 <= profile.optimism_rate <= 1.0
+        # The pre-route estimate is optimistic by construction: it
+        # misses routing detours, so it mostly under-predicts.
+        assert profile.optimism_rate > 0.5
+
+    def test_compare_models_render(self, design_data):
+        text = compare_models(
+            [design_data],
+            {"oracle": lambda d: d.labels,
+             "elmore": lambda d: d.pre_route_at},
+        )
+        assert "oracle" in text and "elmore" in text

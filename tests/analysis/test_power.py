@@ -1,0 +1,71 @@
+"""Tests for the power estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_power
+from repro.netlist import make_design, map_design
+from repro.place import place_design
+from repro.route import PreRouteEstimator
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+def placed(name, lib):
+    nl = map_design(make_design(name), lib)
+    place_design(nl, seed=0)
+    return nl, PreRouteEstimator(nl)
+
+
+@pytest.fixture(scope="module")
+def asap_setup():
+    return placed("arm9", make_asap7_library())
+
+
+class TestPower:
+    def test_components_positive(self, asap_setup):
+        nl, est = asap_setup
+        report = estimate_power(nl, est)
+        assert report.leakage > 0
+        assert report.dynamic > 0
+        assert report.clock_tree > 0
+        assert report.total == pytest.approx(
+            report.leakage + report.dynamic + report.clock_tree
+        )
+
+    def test_by_function_sums_leakage_and_dynamic(self, asap_setup):
+        nl, est = asap_setup
+        report = estimate_power(nl, est)
+        assert sum(report.by_function.values()) == pytest.approx(
+            report.leakage + report.dynamic, rel=1e-9
+        )
+
+    def test_zero_activity_kills_dynamic(self, asap_setup):
+        nl, est = asap_setup
+        report = estimate_power(nl, est, input_activity=0.0)
+        assert report.dynamic == pytest.approx(0.0, abs=1e-12)
+        assert report.leakage > 0
+
+    def test_activity_scales_dynamic(self, asap_setup):
+        nl, est = asap_setup
+        low = estimate_power(nl, est, input_activity=0.1)
+        high = estimate_power(nl, est, input_activity=0.4)
+        assert high.dynamic > low.dynamic
+        assert high.leakage == pytest.approx(low.leakage)
+
+    def test_faster_clock_more_dynamic(self, asap_setup):
+        nl, est = asap_setup
+        slow = estimate_power(nl, est, clock_period=2.0)
+        fast = estimate_power(nl, est, clock_period=0.5)
+        assert fast.dynamic == pytest.approx(4 * slow.dynamic, rel=1e-6)
+
+    def test_older_node_leaks_more(self):
+        nl7, est7 = placed("linkruncca", make_asap7_library())
+        nl130, est130 = placed("linkruncca", make_sky130_library())
+        p7 = estimate_power(nl7, est7)
+        p130 = estimate_power(nl130, est130)
+        assert p130.leakage > p7.leakage
+
+    def test_render(self, asap_setup):
+        nl, est = asap_setup
+        text = estimate_power(nl, est).format()
+        assert "total power" in text and "by function" in text

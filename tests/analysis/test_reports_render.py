@@ -1,0 +1,42 @@
+"""Rendering-stability tests: reports must not crash on edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import slack_histogram, timing_summary
+from repro.sta import ClockConstraint
+from repro.sta.engine import TimingReport
+
+
+def make_report(slacks):
+    return TimingReport(
+        arrival={}, slew={},
+        slack={i: s for i, s in enumerate(slacks)},
+        endpoint_arrivals={},
+        clock=ClockConstraint(1.0),
+    )
+
+
+class TestEdgeCases:
+    def test_empty_report(self):
+        report = make_report([])
+        assert slack_histogram(report) == []
+        text = timing_summary(report)
+        assert "WNS" in text
+
+    def test_single_endpoint(self):
+        report = make_report([0.25])
+        rows = slack_histogram(report)
+        assert rows == [(0.25, 0.25, 1)]
+
+    def test_identical_slacks(self):
+        report = make_report([0.5] * 10)
+        rows = slack_histogram(report)
+        assert rows == [(0.5, 0.5, 10)]
+
+    def test_mixed_signs(self):
+        report = make_report([-0.2, -0.1, 0.0, 0.3, 0.7])
+        rows = slack_histogram(report, bins=5)
+        assert sum(c for _, _, c in rows) == 5
+        text = timing_summary(report, bins=5)
+        assert "WNS: -0.2000" in text

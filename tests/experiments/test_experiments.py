@@ -1,0 +1,138 @@
+"""Plumbing tests for the experiment drivers.
+
+Training-based experiments run with a handful of steps here: these tests
+check wiring, shapes and formatting, not headline accuracy (that is the
+benchmark suite's job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SUBSETS,
+    build_dataset,
+    format_fig1,
+    format_fig6,
+    format_fig8,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_fig1,
+    run_fig6,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+    scale_gap,
+    summarize,
+)
+from repro.netlist import TEST_SPLIT, TRAIN_SPLIT
+
+FAST_STEPS = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset()
+
+
+class TestDataset:
+    def test_split_matches_paper(self, dataset):
+        assert {d.name for d in dataset.train} == set(TRAIN_SPLIT)
+        assert {d.name for d in dataset.test} == set(TEST_SPLIT)
+        assert all(d.node == "7nm" for d in dataset.test)
+        assert len(dataset.train_source) == 4
+        assert len(dataset.train_target) == 1
+
+    def test_normalization_applied(self, dataset):
+        stacked = np.concatenate(
+            [d.graph.features[:, :3] for d in dataset.train]
+        )
+        np.testing.assert_allclose(stacked.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(stacked.std(axis=0), 1.0, atol=1e-6)
+
+    def test_by_name(self, dataset):
+        assert dataset.by_name("arm9").name == "arm9"
+        with pytest.raises(KeyError):
+            dataset.by_name("nope")
+
+    def test_subset_train(self, dataset):
+        subset = dataset.subset_train(("jpeg",))
+        names = {d.name for d in subset}
+        assert names == {"smallboom", "jpeg"}
+
+    def test_cache_roundtrip(self, dataset):
+        again = build_dataset()
+        np.testing.assert_allclose(
+            dataset.train[0].labels, again.train[0].labels
+        )
+        np.testing.assert_allclose(
+            dataset.train[0].graph.features,
+            again.train[0].graph.features,
+        )
+
+
+class TestTable1:
+    def test_rows_and_format(self, dataset):
+        rows = run_table1(dataset)
+        # 10 designs + 2 average rows.
+        assert len(rows) == 12
+        text = format_table1(rows)
+        assert "smallboom" in text and "Avg train" in text
+
+    def test_averages_are_means(self, dataset):
+        rows = run_table1(dataset)
+        train_rows = [r for r in rows if r["split"] == "train"
+                      and not str(r["benchmark"]).startswith("Avg")]
+        avg = next(r for r in rows if r["benchmark"] == "Avg train")
+        assert avg["#pin"] == int(np.mean([r["#pin"] for r in train_rows]))
+
+
+class TestFig6:
+    def test_populations_and_gap(self, dataset):
+        result = run_fig6(dataset)
+        assert scale_gap(result) > 5.0
+        text = format_fig6(result)
+        assert "scale gap" in text
+
+    def test_density_grids(self, dataset):
+        result = run_fig6(dataset)
+        for data in result.values():
+            assert data["grid"].shape == data["density"].shape
+            assert data["density"].min() >= 0
+
+
+class TestTrainingExperiments:
+    def test_table2_plumbing(self, dataset):
+        rows = run_table2(dataset, seed=0, steps=FAST_STEPS)
+        strategies = {r.strategy for r in rows}
+        assert len(strategies) == 5
+        assert len(rows) == 5 * len(dataset.test)
+        assert all(np.isfinite(r.r2) for r in rows)
+        assert all(r.runtime > 0 for r in rows)
+        text = format_table2(rows)
+        assert "average" in text
+        summary = summarize(rows)
+        assert set(summary) == strategies
+
+    def test_table3_plumbing(self, dataset):
+        rows = run_table3(dataset, seed=0, steps=FAST_STEPS)
+        assert len(rows) == len(SUBSETS)
+        assert rows[0]["subset"] == ("jpeg",)
+        text = format_table3(rows)
+        assert "J L S U" in text
+
+    def test_fig1_plumbing(self, dataset):
+        panels = run_fig1(dataset, seed=0, steps=FAST_STEPS)
+        assert len(panels) == 2
+        for data in panels.values():
+            assert data["truth"].shape == data["pred"].shape
+        text = format_fig1(panels)
+        assert "R^2" in text
+
+    def test_fig8_plumbing(self, dataset):
+        rows = run_fig8(dataset, seed=0, steps=FAST_STEPS)
+        assert [r["variant"] for r in rows] == ["DA only",
+                                                "Bayesian only", "Full"]
+        text = format_fig8(rows)
+        assert "Full" in text

@@ -1,0 +1,42 @@
+"""Plumbing tests for the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    build_dataset,
+    format_calibration,
+    format_reverse_transfer,
+    run_reverse_transfer,
+    run_uncertainty_calibration,
+)
+
+FAST_STEPS = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset()
+
+
+class TestUncertaintyCalibration:
+    def test_rows_and_format(self, dataset):
+        rows = run_uncertainty_calibration(dataset, seed=0,
+                                           steps=FAST_STEPS,
+                                           mc_samples=8)
+        assert len(rows) == len(dataset.test)
+        for row in rows:
+            assert np.isfinite(row["mean_abs_error"])
+            assert row["mean_sigma"] >= 0
+        text = format_calibration(rows)
+        assert "corr" in text
+
+
+class TestReverseTransfer:
+    def test_runs_and_formats(self):
+        results = run_reverse_transfer(seed=0, steps=FAST_STEPS,
+                                       resolution=16)
+        assert "average" in results
+        assert all(np.isfinite(v) for v in results.values())
+        text = format_reverse_transfer(results)
+        assert "Reverse transfer" in text

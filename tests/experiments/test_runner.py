@@ -1,0 +1,31 @@
+"""Tests for the experiment runner CLI."""
+
+import io
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_all
+
+
+class TestRunner:
+    def test_experiment_registry_complete(self):
+        assert {"table1", "table2", "table3",
+                "fig1", "fig6", "fig8"} <= set(EXPERIMENTS)
+
+    def test_run_all_subset(self):
+        stream = io.StringIO()
+        run_all(["table1", "fig6"], stream=stream)
+        out = stream.getvalue()
+        assert "=== table1" in out
+        assert "=== fig6" in out
+        assert "table2" not in out
+
+    def test_run_training_experiment_fast(self):
+        stream = io.StringIO()
+        run_all(["fig8"], steps=3, stream=stream)
+        out = stream.getvalue()
+        assert "Full" in out
+
+    def test_main_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not_an_experiment"])

@@ -1,0 +1,183 @@
+"""Tests for layout images, fanin cones, and pin-graph encoding."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    GateVocabulary,
+    all_fanin_cones,
+    apply_normalization,
+    cell_density_map,
+    cone_mask,
+    encode_netlist,
+    fanin_cone,
+    layout_images,
+    macro_region_map,
+    normalize_features,
+)
+from repro.netlist import LogicGraph, make_design, map_design
+from repro.place import place_design
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_sky130_library()
+
+
+@pytest.fixture(scope="module")
+def vocab(sky, asap):
+    return GateVocabulary([sky, asap])
+
+
+@pytest.fixture(scope="module")
+def placed(asap):
+    nl = map_design(make_design("arm9"), asap)
+    fp = place_design(nl, seed=5)
+    return nl, fp
+
+
+class TestLayoutImages:
+    def test_density_integrates_to_cell_area(self, placed):
+        nl, fp = placed
+        grid = cell_density_map(nl, fp, resolution=16)
+        bin_area = (fp.width / 16) * (fp.height / 16)
+        total_area = (grid * bin_area).sum()
+        assert total_area == pytest.approx(nl.total_cell_area(), rel=1e-6)
+
+    def test_macro_map_binary(self, placed):
+        _, fp = placed
+        grid = macro_region_map(fp, resolution=16)
+        assert set(np.unique(grid)) <= {0.0, 1.0}
+        if fp.macros:
+            assert grid.sum() > 0
+
+    def test_stacked_images_shape_and_range(self, placed):
+        nl, fp = placed
+        images = layout_images(nl, fp, resolution=32)
+        assert images.shape == (3, 32, 32)
+        assert images.min() >= 0.0
+        assert images[:2].max() <= 1.0 + 1e-12
+
+
+class TestFaninCones:
+    def test_cone_of_chain(self, asap):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        y = g.add_gate("INV", (x,))
+        g.mark_output(y, "o")
+        nl = map_design(g, asap)
+        endpoint = nl.primary_outputs[0]
+        cone = fanin_cone(nl, endpoint)
+        # Port + 2 inverter outputs + 2 inverter inputs + PO pin = 6 pins.
+        assert len(cone) == 6
+
+    def test_cone_stops_at_registers(self, asap):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        r = g.add_register(x)
+        y = g.add_gate("INV", (r,))
+        g.mark_output(y, "o")
+        nl = map_design(g, asap)
+        endpoint = nl.primary_outputs[0]
+        cone = fanin_cone(nl, endpoint)
+        dff = nl.sequential_cells[0]
+        assert dff.output_pin.index in cone  # Q is the startpoint
+        assert dff.pins["D"].index not in cone  # nothing beyond the flop
+        assert nl.ports["a"].index not in cone
+
+    def test_every_endpoint_has_nonempty_cone(self, placed):
+        nl, _ = placed
+        cones = all_fanin_cones(nl)
+        assert len(cones) == len(nl.timing_endpoints())
+        for name, cone in cones.items():
+            assert len(cone) >= 2, name
+
+    def test_cone_mask_dilation_grows(self, placed):
+        nl, fp = placed
+        endpoint = nl.timing_endpoints()[0]
+        cone = fanin_cone(nl, endpoint)
+        small = cone_mask(nl, cone, fp, resolution=32, dilate=0)
+        big = cone_mask(nl, cone, fp, resolution=32, dilate=2)
+        assert big.sum() >= small.sum()
+        assert small.sum() > 0
+
+
+class TestEncoding:
+    def test_vocab_merges_both_nodes(self, sky, asap, vocab):
+        assert len(vocab) == len(sky) + len(asap) + 1
+        assert vocab.encode(None) == len(vocab) - 1
+
+    def test_feature_shape(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        assert graph.features.shape == (graph.num_nodes, 3 + len(vocab))
+
+    def test_onehot_rows_sum_to_one(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        onehot = graph.features[:, 3:]
+        np.testing.assert_allclose(onehot.sum(axis=1), 1.0)
+
+    def test_edges_match_netlist_counts(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        stats = nl.stats()
+        assert graph.net_edges.shape[1] == stats["net_edges"]
+        assert graph.cell_edges.shape[1] == stats["cell_edges"]
+
+    def test_levels_partition_nodes(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        counted = sum(len(lv) for lv in graph.levels)
+        assert counted == graph.num_nodes
+
+    def test_levels_topological(self, placed, vocab):
+        """Every edge goes from a lower level to a strictly higher one."""
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        level_of = np.zeros(graph.num_nodes, dtype=int)
+        for k, rows in enumerate(graph.levels):
+            level_of[rows] = k
+        for edges in (graph.net_edges, graph.cell_edges):
+            for src, dst in edges.T:
+                assert level_of[src] < level_of[dst]
+
+    def test_endpoints_present(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        assert len(graph.endpoint_rows) == len(nl.timing_endpoints())
+        assert len(graph.endpoint_names) == len(graph.endpoint_rows)
+
+    def test_same_node_same_vocab_slots(self, sky, asap, vocab):
+        """The 130nm and 7nm mappings use disjoint one-hot slots."""
+        g = make_design("linkruncca")
+        nl_sky = map_design(g, sky)
+        nl_asap = map_design(g, asap)
+        place_design(nl_sky, seed=0)
+        place_design(nl_asap, seed=0)
+        g_sky = encode_netlist(nl_sky, vocab)
+        g_asap = encode_netlist(nl_asap, vocab)
+        port_slot = vocab.encode(None)
+        used_sky = set(np.nonzero(g_sky.features[:, 3:].sum(axis=0))[0])
+        used_asap = set(np.nonzero(g_asap.features[:, 3:].sum(axis=0))[0])
+        overlap = used_sky & used_asap
+        assert overlap <= {port_slot}
+
+    def test_normalization_roundtrip(self, placed, vocab):
+        nl, _ = placed
+        graph = encode_netlist(nl, vocab)
+        other = encode_netlist(nl, vocab)
+        params = normalize_features([graph])
+        cols = graph.features[:, :3]
+        np.testing.assert_allclose(cols.mean(axis=0), 0.0, atol=1e-9)
+        # Applying the same params to an identical graph matches.
+        apply_normalization(other, params)
+        np.testing.assert_allclose(other.features, graph.features)

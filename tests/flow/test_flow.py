@@ -1,0 +1,107 @@
+"""Tests for the end-to-end data-generation flow and dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.features import GateVocabulary
+from repro.flow import (
+    PnRFlow,
+    dataset_statistics,
+    load_design_data,
+    run_flow,
+    save_design_data,
+)
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def libraries():
+    return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+
+
+@pytest.fixture(scope="module")
+def vocab(libraries):
+    return GateVocabulary(list(libraries.values()))
+
+
+@pytest.fixture(scope="module")
+def arm9_data(libraries, vocab):
+    return run_flow("arm9", "7nm", libraries, vocab=vocab, resolution=16)
+
+
+class TestFlowOutputs:
+    def test_shapes_consistent(self, arm9_data):
+        d = arm9_data
+        k = d.num_endpoints
+        assert d.labels.shape == (k,)
+        assert d.pre_route_at.shape == (k,)
+        assert d.cone_masks.shape == (k, 16, 16)
+        assert d.images.shape == (3, 16, 16)
+        assert len(d.graph.endpoint_names) == k
+
+    def test_labels_positive(self, arm9_data):
+        assert (arm9_data.labels > 0).all()
+
+    def test_labels_generally_above_preroute(self, arm9_data):
+        """Signoff includes real routing; on average it is slower."""
+        assert arm9_data.labels.mean() > 0.8 * arm9_data.pre_route_at.mean()
+
+    def test_flow_info_populated(self, arm9_data):
+        info = arm9_data.flow_info
+        assert info["flow_seconds"] > 0
+        assert "buffers_inserted" in info
+
+    def test_endpoint_table(self, arm9_data):
+        table = arm9_data.endpoint_table()
+        assert len(table) == arm9_data.num_endpoints
+        assert {"name", "label", "pre_route"} <= set(table[0])
+
+    def test_flow_deterministic(self, libraries, vocab):
+        a = run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                     resolution=16, seed=3)
+        b = run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                     resolution=16, seed=3)
+        np.testing.assert_allclose(a.labels, b.labels)
+        np.testing.assert_allclose(a.graph.features, b.graph.features)
+
+    def test_node_scale_gap_in_labels(self, libraries, vocab):
+        """Figure 6's premise: 130nm arrival times are ~10x larger."""
+        d7 = run_flow("linkruncca", "7nm", libraries, vocab=vocab,
+                      resolution=16)
+        d130 = run_flow("linkruncca", "130nm", libraries, vocab=vocab,
+                        resolution=16)
+        assert d130.labels.mean() > 5.0 * d7.labels.mean()
+
+    def test_same_design_same_endpoint_count_across_nodes(self, libraries,
+                                                          vocab):
+        """Functionality is node-independent: endpoints match."""
+        d7 = run_flow("linkruncca", "7nm", libraries, vocab=vocab,
+                      resolution=16)
+        d130 = run_flow("linkruncca", "130nm", libraries, vocab=vocab,
+                        resolution=16)
+        assert d7.num_endpoints == d130.num_endpoints
+
+
+class TestDatasetContainer:
+    def test_stats_keys(self, arm9_data):
+        stats = arm9_data.stats()
+        assert stats["tech node"] == "7nm"
+        assert stats["#edp"] == arm9_data.num_endpoints
+
+    def test_dataset_statistics_rows(self, arm9_data):
+        rows = dataset_statistics([arm9_data])
+        assert rows[0]["benchmark"] == "arm9"
+
+    def test_save_load_roundtrip(self, arm9_data, tmp_path):
+        path = tmp_path / "arm9.npz"
+        save_design_data(arm9_data, path)
+        loaded = load_design_data(path)
+        assert loaded.name == arm9_data.name
+        assert loaded.node == arm9_data.node
+        np.testing.assert_allclose(loaded.labels, arm9_data.labels)
+        np.testing.assert_allclose(loaded.graph.features,
+                                   arm9_data.graph.features)
+        assert len(loaded.graph.levels) == len(arm9_data.graph.levels)
+        for a, b in zip(loaded.graph.levels, arm9_data.graph.levels):
+            np.testing.assert_array_equal(a, b)
+        assert loaded.graph.endpoint_names == arm9_data.graph.endpoint_names

@@ -1,0 +1,197 @@
+"""Round-trip tests for the Verilog / DEF / Liberty / SPEF writers."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    DefParseError,
+    VerilogParseError,
+    parse_def,
+    parse_liberty,
+    parse_spef,
+    parse_verilog,
+    verilog_roundtrip_equal,
+    write_def,
+    write_liberty,
+    write_spef,
+    write_verilog,
+)
+from repro.netlist import make_design, map_design
+from repro.place import place_design
+from repro.route import GlobalRouter, RoutedParasitics
+from repro.sta import run_sta
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+@pytest.fixture(scope="module")
+def placed(asap):
+    nl = map_design(make_design("linkruncca"), asap)
+    fp = place_design(nl, seed=7)
+    return nl, fp
+
+
+class TestVerilog:
+    def test_roundtrip_structure(self, placed, asap):
+        nl, _ = placed
+        text = write_verilog(nl)
+        parsed = parse_verilog(text, asap)
+        assert verilog_roundtrip_equal(nl, parsed)
+        parsed.validate()
+
+    def test_roundtrip_preserves_counts(self, placed, asap):
+        nl, _ = placed
+        parsed = parse_verilog(write_verilog(nl), asap)
+        assert len(parsed.cells) == len(nl.cells)
+        assert len(parsed.ports) == len(nl.ports)
+        assert len(parsed.timing_endpoints()) == \
+            len(nl.timing_endpoints())
+
+    def test_clock_net_detected(self, placed, asap):
+        nl, _ = placed
+        parsed = parse_verilog(write_verilog(nl), asap)
+        clock_nets = [n for n in parsed.nets.values() if n.is_clock]
+        assert len(clock_nets) == 1
+
+    def test_bus_bit_names_escaped(self, placed, asap):
+        nl, _ = placed
+        text = write_verilog(nl)
+        assert "\\" in text  # label[0]-style ports need escaping
+        parsed = parse_verilog(text, asap)
+        assert any("[" in name for name in parsed.ports)
+
+    def test_sta_equivalence_after_roundtrip(self, placed, asap):
+        """Same netlist timing before and after the text round trip."""
+        from repro.route import PreRouteEstimator
+
+        nl, fp = placed
+        parsed = parse_verilog(write_verilog(nl), asap)
+        # Copy placement onto the parsed netlist via DEF.
+        parse_def(write_def(nl, fp), parsed)
+        a = run_sta(nl, PreRouteEstimator(nl))
+        b = run_sta(parsed, PreRouteEstimator(parsed))
+        assert a.endpoint_arrivals.keys() == b.endpoint_arrivals.keys()
+        # DEF database units round coordinates to 1/1000 um, so allow a
+        # correspondingly small timing tolerance.
+        for name, at in a.endpoint_arrivals.items():
+            assert b.endpoint_arrivals[name] == pytest.approx(at,
+                                                              rel=1e-3)
+
+    def test_unknown_cell_rejected(self, asap):
+        bad = ("module t (a);\n  input a;\n"
+               "  not_a_cell u1 (.A(a));\nendmodule")
+        with pytest.raises(VerilogParseError):
+            parse_verilog(bad, asap)
+
+    def test_no_module_rejected(self, asap):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("wire x;", asap)
+
+
+class TestDef:
+    def test_roundtrip_placement(self, placed, asap):
+        nl, fp = placed
+        text = write_def(nl, fp)
+        clone = parse_verilog(write_verilog(nl), asap)
+        fp2 = parse_def(text, clone)
+        assert fp2.width == pytest.approx(fp.width, abs=1e-3)
+        assert fp2.num_rows == fp.num_rows
+        for name, inst in nl.cells.items():
+            other = clone.cells[name]
+            assert other.x == pytest.approx(inst.x, abs=1e-3)
+            assert other.y == pytest.approx(inst.y, abs=1e-3)
+
+    def test_macros_roundtrip(self, placed, asap):
+        nl, fp = placed
+        clone = parse_verilog(write_verilog(nl), asap)
+        fp2 = parse_def(write_def(nl, fp), clone)
+        assert len(fp2.macros) == len(fp.macros)
+
+    def test_unknown_component_rejected(self, placed, asap):
+        nl, fp = placed
+        text = write_def(nl, fp)
+        clone = parse_verilog(write_verilog(nl), asap)
+        removed = next(iter(clone.cells.values()))
+        clone.remove_cell(removed)
+        with pytest.raises(DefParseError):
+            parse_def(text, clone)
+
+
+class TestLiberty:
+    @pytest.mark.parametrize("factory", [make_asap7_library,
+                                         make_sky130_library])
+    def test_roundtrip_library(self, factory):
+        lib = factory()
+        parsed = parse_liberty(write_liberty(lib))
+        assert parsed.name == lib.name
+        assert parsed.node_nm == lib.node_nm
+        assert set(parsed.cells) == set(lib.cells)
+        assert parsed.wire.res_per_um == pytest.approx(
+            lib.wire.res_per_um
+        )
+
+    def test_roundtrip_preserves_tables(self, asap):
+        parsed = parse_liberty(write_liberty(asap))
+        for name, cell in asap.cells.items():
+            other = parsed.cells[name]
+            assert other.function == cell.function
+            assert len(other.arcs) == len(cell.arcs)
+            arc_a = cell.arcs[0]
+            arc_b = other.arc_for(arc_a.input_pin)
+            np.testing.assert_allclose(arc_b.delay.values,
+                                       arc_a.delay.values, rtol=1e-5)
+            for pin in cell.input_pins:
+                assert other.input_cap(pin) == pytest.approx(
+                    cell.input_cap(pin), rel=1e-5
+                )
+
+    def test_roundtrip_sequential_data(self, asap):
+        parsed = parse_liberty(write_liberty(asap))
+        dff = parsed.pick("DFF", 1.0)
+        ref = asap.pick("DFF", 1.0)
+        assert dff.is_sequential
+        assert dff.setup_time == pytest.approx(ref.setup_time)
+        assert dff.clk_to_q == pytest.approx(ref.clk_to_q)
+
+    def test_parsed_library_usable_for_mapping(self, asap):
+        """A parsed library is a drop-in replacement for the original."""
+        parsed = parse_liberty(write_liberty(asap))
+        nl = map_design(make_design("usbf_device"), parsed)
+        nl.validate()
+
+
+class TestSpef:
+    def test_roundtrip_elmore(self, placed):
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        text = write_spef(nl, router)
+        trees = parse_spef(text, nl)
+        assert set(trees) == set(router.trees)
+        for idx, tree in router.trees.items():
+            other = trees[idx]
+            assert other.total_cap() == pytest.approx(tree.total_cap(),
+                                                      rel=1e-4)
+            a = tree.sink_delays()
+            b = other.sink_delays()
+            assert set(a) == set(b)
+            for pin, delay in a.items():
+                assert b[pin] == pytest.approx(delay, rel=1e-4)
+
+    def test_signoff_sta_from_parsed_spef(self, placed):
+        """STA on parsed parasitics matches STA on the originals."""
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        baseline = run_sta(nl, RoutedParasitics(router))
+        trees = parse_spef(write_spef(nl, router), nl)
+        router.trees = trees
+        again = run_sta(nl, RoutedParasitics(router))
+        for name, at in baseline.endpoint_arrivals.items():
+            assert again.endpoint_arrivals[name] == pytest.approx(
+                at, rel=1e-4
+            )

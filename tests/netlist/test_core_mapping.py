@@ -1,0 +1,225 @@
+"""Tests for netlist structures, the tech mapper, and the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    DESIGN_GENERATORS,
+    LogicGraph,
+    Netlist,
+    TechMapper,
+    TEST_SPLIT,
+    TRAIN_SPLIT,
+    make_design,
+    map_design,
+)
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_sky130_library()
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+def tiny_graph():
+    g = LogicGraph("tiny")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    x = g.add_gate("AND2", (a, b))
+    r = g.add_register(x)
+    y = g.add_gate("XOR2", (r, a))
+    g.mark_output(y, "out")
+    return g
+
+
+class TestNetlistStructure:
+    def test_connect_disconnect_bookkeeping(self, sky):
+        nl = Netlist("t", sky)
+        inv = nl.add_cell(sky.pick("INV", 1.0))
+        port = nl.add_port("in0", "input")
+        net = nl.add_net("n0")
+        nl.connect(net, port)
+        nl.connect(net, inv.pins["A"])
+        assert net.driver is port
+        assert net.sinks == [inv.pins["A"]]
+        nl.disconnect(inv.pins["A"])
+        assert net.sinks == []
+        assert inv.pins["A"].net is None
+
+    def test_double_driver_rejected(self, sky):
+        nl = Netlist("t", sky)
+        a = nl.add_cell(sky.pick("INV", 1.0))
+        b = nl.add_cell(sky.pick("INV", 1.0))
+        net = nl.add_net()
+        nl.connect(net, a.pins["Y"])
+        with pytest.raises(ValueError):
+            nl.connect(net, b.pins["Y"])
+
+    def test_double_connect_pin_rejected(self, sky):
+        nl = Netlist("t", sky)
+        inv = nl.add_cell(sky.pick("INV", 1.0))
+        n1, n2 = nl.add_net(), nl.add_net()
+        nl.connect(n1, inv.pins["A"])
+        with pytest.raises(ValueError):
+            nl.connect(n2, inv.pins["A"])
+
+    def test_duplicate_names_rejected(self, sky):
+        nl = Netlist("t", sky)
+        nl.add_port("p", "input")
+        with pytest.raises(ValueError):
+            nl.add_port("p", "output")
+        nl.add_net("n")
+        with pytest.raises(ValueError):
+            nl.add_net("n")
+        nl.add_cell(sky.pick("INV", 1.0), "u1")
+        with pytest.raises(ValueError):
+            nl.add_cell(sky.pick("INV", 1.0), "u1")
+
+    def test_pin_cap_comes_from_library(self, sky):
+        nl = Netlist("t", sky)
+        nand = nl.add_cell(sky.pick("NAND2", 1.0))
+        assert nand.pins["A"].cap == sky.pick("NAND2", 1.0).input_cap("A")
+        assert nand.pins["Y"].cap == 0.0
+
+
+class TestMapping:
+    def test_tiny_graph_maps_and_validates(self, sky):
+        nl = map_design(tiny_graph(), sky)
+        nl.validate()
+        assert "clk" in nl.ports
+        assert len(nl.sequential_cells) == 1
+
+    def test_feedback_register_maps(self, asap):
+        g = LogicGraph("fb")
+        a = g.add_input("a")
+        reg = g.add_register_placeholder()
+        nxt = g.add_gate("XOR2", (reg, a))
+        g.connect_register(reg, nxt)
+        g.mark_output(reg, "q")
+        nl = map_design(g, asap)
+        nl.validate()
+        dff = nl.sequential_cells[0]
+        # The D pin's net must be driven by the XOR that reads the Q pin.
+        d_net = dff.pins["D"].net
+        assert d_net.driver.cell is not None
+
+    def test_decomposition_on_missing_function(self, asap):
+        """AND2 is absent at 7nm: mapping must expand to NAND2 + INV."""
+        g = LogicGraph("t")
+        a, b = g.add_input("a"), g.add_input("b")
+        x = g.add_gate("AND2", (a, b))
+        g.mark_output(x, "o")
+        nl = map_design(g, asap)
+        functions = sorted(c.ref.function for c in nl.cells.values())
+        assert functions == ["INV", "NAND2"]
+
+    def test_nand3_decomposes_on_sky130(self, sky):
+        """NAND3 is absent at 130nm but native at 7nm."""
+        g = LogicGraph("t")
+        ins = [g.add_input(f"i{k}") for k in range(3)]
+        x = g.add_gate("NAND3", ins)
+        g.mark_output(x, "o")
+        nl = map_design(g, sky)
+        assert len(nl.cells) > 1
+        assert all(c.ref.function != "NAND3" for c in nl.cells.values())
+
+    def test_nand3_native_on_asap7(self, asap):
+        g = LogicGraph("t")
+        ins = [g.add_input(f"i{k}") for k in range(3)]
+        x = g.add_gate("NAND3", ins)
+        g.mark_output(x, "o")
+        nl = map_design(g, asap)
+        assert len(nl.cells) == 1
+        assert next(iter(nl.cells.values())).ref.function == "NAND3"
+
+    def test_same_design_differs_across_nodes(self, sky, asap):
+        g = make_design("arm9")
+        n_sky = map_design(g, sky)
+        n_asap = map_design(g, asap)
+        sky_fns = sorted(c.ref.function for c in n_sky.cells.values())
+        asap_fns = sorted(c.ref.function for c in n_asap.cells.values())
+        assert sky_fns != asap_fns  # node-dependent structure
+        assert len(n_sky.timing_endpoints()) > 0
+        assert len(n_asap.timing_endpoints()) > 0
+
+    def test_high_fanout_gets_stronger_drive(self, sky):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        for k in range(10):
+            y = g.add_gate("INV", (x,))
+            g.mark_output(y, f"o{k}")
+        nl = map_design(g, sky)
+        driver = [c for c in nl.cells.values()
+                  if c.output_pin.net and c.output_pin.net.fanout == 10]
+        assert driver[0].ref.drive_strength == 4.0
+
+    def test_sweep_removes_dead_logic(self, sky):
+        g = LogicGraph("t")
+        a, b = g.add_input("a"), g.add_input("b")
+        used = g.add_gate("AND2", (a, b))
+        g.add_gate("OR2", (a, b))  # dead gate
+        g.mark_output(used, "o")
+        nl = map_design(g, sky)
+        assert all(c.output_pin.net and c.output_pin.net.sinks
+                   for c in nl.cells.values())
+
+    def test_clock_excluded_from_primary_inputs(self, sky):
+        nl = map_design(tiny_graph(), sky)
+        names = [p.name for p in nl.primary_inputs]
+        assert "clk" not in names
+
+    def test_endpoints_are_flop_d_and_outputs(self, sky):
+        nl = map_design(tiny_graph(), sky)
+        endpoints = nl.timing_endpoints()
+        assert len(endpoints) == 2  # one DFF D pin + one primary output
+        kinds = {p.is_port for p in endpoints}
+        assert kinds == {True, False}
+
+
+class TestBenchmarkSuite:
+    def test_all_designs_map_on_both_nodes(self, sky, asap):
+        for name in DESIGN_GENERATORS:
+            g = make_design(name)
+            map_design(g, sky).validate()
+            map_design(g, asap).validate()
+
+    def test_split_covers_paper_table(self):
+        assert set(TRAIN_SPLIT) | set(TEST_SPLIT) == set(DESIGN_GENERATORS)
+        assert TRAIN_SPLIT["smallboom"] == "7nm"
+        assert all(v == "7nm" for v in TEST_SPLIT.values())
+        assert sum(1 for v in TRAIN_SPLIT.values() if v == "130nm") == 4
+
+    def test_relative_sizes_follow_table1(self, asap, sky):
+        """jpeg is the biggest train design; or1200 has the most endpoints."""
+        sizes = {}
+        endpoints = {}
+        for name in DESIGN_GENERATORS:
+            lib = sky if TRAIN_SPLIT.get(name) == "130nm" else asap
+            nl = map_design(make_design(name), lib)
+            sizes[name] = nl.stats()["pins"]
+            endpoints[name] = nl.stats()["endpoints"]
+        train_130 = [n for n, v in TRAIN_SPLIT.items() if v == "130nm"]
+        assert max(train_130, key=sizes.get) == "jpeg"
+        assert max(TEST_SPLIT, key=endpoints.get) == "or1200"
+
+    def test_scale_parameter_grows_designs(self):
+        small = make_design("arm9")
+        # Generators take scale through make_design's wrapper.
+        big = DESIGN_GENERATORS["arm9"](scale=1.5)
+        assert len(big) > len(small)
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            make_design("nonexistent")
+
+    def test_generation_is_deterministic(self):
+        a = make_design("smallboom")
+        b = make_design("smallboom")
+        assert len(a) == len(b)
+        assert [n.op for n in a.nodes] == [n.op for n in b.nodes]

@@ -1,0 +1,87 @@
+"""Property-based tests on netlist connectivity invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Netlist
+from repro.techlib import make_asap7_library
+
+LIB = make_asap7_library()
+
+
+def build_random_netlist(seed: int, n_cells: int) -> Netlist:
+    """Random but always-valid netlist: chain with random extra fanout."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist(f"rand{seed}", LIB)
+    src = nl.add_port("in0", "input")
+    net = nl.add_net()
+    nl.connect(net, src)
+    driven_nets = [net]
+    comb = [name for name in ("INV", "NAND2", "NOR2", "XOR2")
+            ]
+    for _ in range(n_cells):
+        fn = comb[rng.integers(len(comb))]
+        cell = nl.add_cell(LIB.pick(fn, 1.0))
+        for pin in cell.input_pins:
+            feed = driven_nets[rng.integers(len(driven_nets))]
+            nl.connect(feed, pin)
+        out = nl.add_net()
+        nl.connect(out, cell.output_pin)
+        driven_nets.append(out)
+    # Terminate every danglingly-driven net with an output port.
+    for i, net in enumerate(driven_nets):
+        if not net.sinks:
+            port = nl.add_port(f"out{i}", "output")
+            nl.connect(net, port)
+    return nl
+
+
+class TestConnectivityInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_cells=st.integers(1, 30))
+    def test_random_netlists_validate(self, seed, n_cells):
+        nl = build_random_netlist(seed, n_cells)
+        nl.validate()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_cells=st.integers(1, 30))
+    def test_every_pin_net_membership_consistent(self, seed, n_cells):
+        """pin.net and net.driver/sinks always agree."""
+        nl = build_random_netlist(seed, n_cells)
+        for net in nl.nets.values():
+            if net.driver is not None:
+                assert net.driver.net is net
+            for sink in net.sinks:
+                assert sink.net is net
+        for pin in nl.pins:
+            if pin.net is None:
+                continue
+            assert pin is pin.net.driver or pin in pin.net.sinks
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_cells=st.integers(1, 30))
+    def test_edge_counts_consistent(self, seed, n_cells):
+        """net edges = sum of fanouts; cell edges = sum of comb arity."""
+        nl = build_random_netlist(seed, n_cells)
+        stats = nl.stats()
+        expected_net_edges = sum(n.fanout for n in nl.nets.values()
+                                 if n.driver is not None and not n.is_clock)
+        expected_cell_edges = sum(len(c.input_pins)
+                                  for c in nl.combinational_cells)
+        assert stats["net_edges"] == expected_net_edges
+        assert stats["cell_edges"] == expected_cell_edges
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sweep_idempotent(self, seed):
+        """Sweeping twice removes nothing extra."""
+        nl = build_random_netlist(seed, 15)
+        # Remove a random output port to create dead logic, then sweep.
+        out_ports = [n for n in nl.ports if n.startswith("out")]
+        if out_ports:
+            nl.remove_port(out_ports[0])
+        nl.sweep_dangling()
+        assert nl.sweep_dangling() == 0
+        nl.validate()

@@ -1,0 +1,90 @@
+"""Property-style tests over the whole benchmark family."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    DESIGN_GENERATORS,
+    TechMapper,
+    make_design,
+    map_design,
+)
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return make_sky130_library(), make_asap7_library()
+
+
+ALL_DESIGNS = sorted(DESIGN_GENERATORS)
+
+
+class TestWholeFamily:
+    @pytest.mark.parametrize("name", ALL_DESIGNS)
+    def test_every_design_has_sequential_logic(self, name):
+        """All benchmarks are clocked designs (endpoints at flops)."""
+        g = make_design(name)
+        assert g.registers, name
+
+    @pytest.mark.parametrize("name", ALL_DESIGNS)
+    def test_mapped_netlists_have_no_dangling_logic(self, name, libs):
+        sky, asap = libs
+        for lib in (sky, asap):
+            nl = map_design(make_design(name), lib)
+            for cell in nl.cells.values():
+                out_net = cell.output_pin.net
+                assert out_net is not None and out_net.sinks, \
+                    f"{name}: {cell.name} drives nothing"
+
+    @pytest.mark.parametrize("name", ALL_DESIGNS)
+    def test_node_mapping_uses_only_library_cells(self, name, libs):
+        sky, asap = libs
+        nl = map_design(make_design(name), asap)
+        for cell in nl.cells.values():
+            assert cell.ref.name in asap.cells
+
+    @pytest.mark.parametrize("scale", [0.7, 1.0, 1.4])
+    def test_scale_is_monotone_for_datapath_designs(self, scale):
+        """Bigger scale never shrinks a datapath-dominated design."""
+        base = len(make_design("hwacha"))
+        scaled = len(DESIGN_GENERATORS["hwacha"](scale=scale))
+        if scale >= 1.0:
+            assert scaled >= base
+        else:
+            assert scaled <= base
+
+    def test_designs_are_structurally_distinct(self, libs):
+        """No two benchmarks map to identical gate histograms."""
+        _, asap = libs
+        histograms = {}
+        for name in ALL_DESIGNS:
+            nl = map_design(make_design(name), asap)
+            hist = {}
+            for cell in nl.cells.values():
+                hist[cell.ref.function] = hist.get(cell.ref.function,
+                                                   0) + 1
+            histograms[name] = tuple(sorted(hist.items()))
+        assert len(set(histograms.values())) == len(ALL_DESIGNS)
+
+    def test_mapper_reuse_across_designs(self, libs):
+        """One TechMapper instance maps many designs consistently."""
+        _, asap = libs
+        mapper = TechMapper(asap)
+        a = mapper.map(make_design("usbf_device"))
+        b = mapper.map(make_design("spiMaster"))
+        a.validate()
+        b.validate()
+
+    def test_mapper_requires_base_functions(self, libs):
+        from repro.techlib import TechLibrary, WireModel
+
+        _, asap = libs
+        crippled = TechLibrary(
+            name="crippled", node_nm=7.0,
+            cells=[asap.pick("INV", 1.0)],
+            wire=WireModel(0.01, 0.0001), site=(0.05, 0.27),
+            default_clock_period=1.0, primary_input_slew=0.01,
+        )
+        with pytest.raises(ValueError):
+            TechMapper(crippled)

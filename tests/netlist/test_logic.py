@@ -1,0 +1,218 @@
+"""Tests for logic graphs and the functional block generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import LogicGraph, blocks
+
+
+class TestLogicGraph:
+    def test_arity_enforced(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        with pytest.raises(ValueError):
+            g.add_gate("NAND2", (a,))
+
+    def test_unknown_op_rejected(self):
+        g = LogicGraph("t")
+        with pytest.raises(ValueError):
+            g.add_gate("NAND99", ())
+
+    def test_forward_reference_rejected(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        with pytest.raises(ValueError):
+            g.add_gate("INV", (a + 5,))
+
+    def test_gate_helpers_reject_special_ops(self):
+        g = LogicGraph("t")
+        g.add_input("a")
+        with pytest.raises(ValueError):
+            g.add_gate("INPUT", ())
+        with pytest.raises(ValueError):
+            g.add_gate("DFF", (0,))
+
+    def test_register_placeholder_feedback(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        reg = g.add_register_placeholder()
+        nxt = g.add_gate("XOR2", (reg, a))
+        g.connect_register(reg, nxt)
+        g.mark_output(reg, "q")
+        g.validate()
+        assert g.nodes[reg].fanin == (nxt,)
+
+    def test_unconnected_placeholder_fails_validation(self):
+        g = LogicGraph("t")
+        g.add_input("a")
+        g.add_register_placeholder()
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_double_connect_rejected(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        reg = g.add_register_placeholder()
+        g.connect_register(reg, a)
+        with pytest.raises(ValueError):
+            g.connect_register(reg, a)
+
+    def test_depth_restarts_at_registers(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        y = g.add_gate("INV", (x,))
+        r = g.add_register(y)
+        z = g.add_gate("INV", (r,))
+        g.mark_output(z, "o")
+        assert g.depth() == 2  # a->x->y, then register resets
+
+    def test_fanout_counts_include_outputs(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        g.mark_output(x, "o1")
+        g.mark_output(x, "o2")
+        assert g.fanout_counts()[x] == 2
+        assert g.fanout_counts()[a] == 1
+
+    def test_stats_keys(self):
+        g = LogicGraph("t")
+        a = g.add_input("a")
+        x = g.add_gate("INV", (a,))
+        g.add_register(x)
+        g.mark_output(x, "o")
+        s = g.stats()
+        assert s == {"nodes": 3, "gates": 1, "registers": 1, "inputs": 1,
+                     "outputs": 1, "depth": 1}
+
+
+class TestBlocks:
+    def _graph_with_inputs(self, n):
+        g = LogicGraph("t")
+        return g, [g.add_input(f"i{k}") for k in range(n)]
+
+    def test_ripple_adder_width(self):
+        g, ins = self._graph_with_inputs(8)
+        out = blocks.ripple_adder(g, ins[:4], ins[4:])
+        assert len(out) == 5  # 4 sum bits + carry
+
+    def test_ripple_adder_rejects_mismatch(self):
+        g, ins = self._graph_with_inputs(5)
+        with pytest.raises(ValueError):
+            blocks.ripple_adder(g, ins[:2], ins[2:])
+
+    def test_full_adder_gate_count(self):
+        g, ins = self._graph_with_inputs(3)
+        blocks.full_adder(g, *ins)
+        assert g.num_gates == 5  # 2 XOR + 2 AND + 1 OR
+
+    def test_multiplier_width(self):
+        g, ins = self._graph_with_inputs(8)
+        out = blocks.array_multiplier(g, ins[:4], ins[4:])
+        assert len(out) == 8  # 4x4 -> 8 product bits
+
+    def test_xor_reduce_depth_logarithmic(self):
+        g, ins = self._graph_with_inputs(16)
+        blocks.xor_reduce(g, ins)
+        assert g.depth() == 4
+
+    def test_xor_reduce_empty_rejected(self):
+        g, _ = self._graph_with_inputs(1)
+        with pytest.raises(ValueError):
+            blocks.xor_reduce(g, [])
+
+    def test_decoder_output_count(self):
+        g, ins = self._graph_with_inputs(3)
+        out = blocks.decoder(g, ins)
+        assert len(out) == 8
+
+    def test_barrel_rotate_is_rewiring(self):
+        g, ins = self._graph_with_inputs(8)
+        before = len(g)
+        out = blocks.barrel_rotate(g, ins, 3)
+        assert len(g) == before  # no gates added
+        assert out == ins[-3:] + ins[:-3]
+
+    def test_barrel_shifter_mux_levels(self):
+        g, ins = self._graph_with_inputs(11)
+        blocks.barrel_shifter(g, ins[:8], ins[8:])
+        # 3 select bits -> 3 mux levels of 8 muxes each.
+        assert g.num_gates == 24
+
+    def test_counter_has_feedback(self):
+        g, ins = self._graph_with_inputs(1)
+        regs = blocks.counter(g, 4, ins[0])
+        g.mark_output(regs[0], "c0")
+        g.validate()
+        # Each register's next state references itself through the XOR.
+        for reg in regs:
+            data = g.nodes[reg].fanin[0]
+            assert reg in g.nodes[data].fanin
+
+    def test_shift_register_serial_chain(self):
+        g, ins = self._graph_with_inputs(5)
+        regs = blocks.shift_register(g, ins[:4], ins[4])
+        g.mark_output(regs[-1], "so")
+        g.validate()
+        assert len(regs) == 4
+
+    def test_fsm_state_feedback_valid(self):
+        g, ins = self._graph_with_inputs(3)
+        rng = np.random.default_rng(0)
+        state = blocks.fsm(g, 4, ins, rng)
+        for s in state:
+            g.mark_output(s, f"s{s}")
+        g.validate()
+        assert len(state) == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(2, 10))
+    def test_adder_gate_count_scales_linearly(self, width):
+        g = LogicGraph("t")
+        a = [g.add_input(f"a{i}") for i in range(width)]
+        b = [g.add_input(f"b{i}") for i in range(width)]
+        blocks.ripple_adder(g, a, b)
+        # Half adder (2 gates) + (width-1) full adders (5 gates each).
+        assert g.num_gates == 2 + 5 * (width - 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_gates=st.integers(1, 40), seed=st.integers(0, 100))
+    def test_random_cone_always_validates(self, n_gates, seed):
+        g = LogicGraph("t")
+        ins = [g.add_input(f"i{k}") for k in range(4)]
+        rng = np.random.default_rng(seed)
+        tips = blocks.random_logic_cone(g, ins, n_gates, rng)
+        assert tips
+        for tip in tips:
+            g.mark_output(tip, f"t{tip}")
+        g.validate()
+        assert g.num_gates == n_gates
+
+
+class TestMoreBlocks:
+    def _graph_with_inputs(self, n):
+        from repro.netlist import LogicGraph
+
+        g = LogicGraph("t")
+        return g, [g.add_input(f"i{k}") for k in range(n)]
+
+    def test_equality_comparator_width_one(self):
+        g, ins = self._graph_with_inputs(2)
+        out = blocks.equality_comparator(g, ins[:1], ins[1:])
+        g.mark_output(out, "eq")
+        g.validate()
+        assert g.num_gates == 1  # one XNOR, no reduce tree needed
+
+    def test_mux_word_gate_count(self):
+        g, ins = self._graph_with_inputs(9)
+        out = blocks.mux_word(g, ins[0], ins[1:5], ins[5:9])
+        assert len(out) == 4
+        assert g.num_gates == 4
+
+    def test_crc_step_preserves_width(self):
+        g, ins = self._graph_with_inputs(9)
+        state = blocks.crc_step(g, ins[:8], ins[8], taps=(3, 5))
+        assert len(state) == 8

@@ -1,0 +1,214 @@
+"""Tests for Module/layers, optimisers, and serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv2d,
+    Flatten,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    MLP,
+    Module,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    load_module,
+    save_module,
+)
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(rng.standard_normal((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, np.random.default_rng(0))
+        b = Linear(4, 4, np.random.default_rng(0))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestMLP:
+    def test_structure_and_forward(self, rng):
+        mlp = MLP([8, 16, 4], rng, activation="relu")
+        out = mlp(Tensor(rng.standard_normal((2, 8))))
+        assert out.shape == (2, 4)
+
+    def test_final_tanh_bounds_output(self, rng):
+        mlp = MLP([8, 16, 4], rng, final_activation="tanh")
+        out = mlp(Tensor(100.0 * rng.standard_normal((5, 8))))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_rejects_single_size(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+
+class TestModuleTree:
+    def test_named_parameters_nested(self, rng):
+        model = Sequential(Linear(3, 4, rng), ReLU(), Linear(4, 2, rng))
+        names = [n for n, _ in model.named_parameters()]
+        assert "modules.0.weight" in names
+        assert "modules.2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self, rng):
+        model = Linear(3, 4, rng)
+        assert model.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self, rng):
+        model = Linear(3, 1, rng)
+        out = model(Tensor(rng.standard_normal((2, 3)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng), ReLU())
+        model.eval()
+        assert not model.modules[0].training
+        model.train()
+        assert model.modules[0].training
+
+    def test_state_dict_roundtrip(self, rng, tmp_path):
+        model = MLP([4, 8, 2], rng)
+        clone = MLP([4, 8, 2], np.random.default_rng(99))
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        load_module(clone, path)
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        model = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((3, 2))})
+        with pytest.raises(ValueError):
+            model.load_state_dict({"weight": np.zeros((2, 3)),
+                                   "bias": np.zeros(2)})
+
+
+class TestConvNet:
+    def test_small_cnn_forward(self, rng):
+        net = Sequential(
+            Conv2d(3, 4, 3, rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(4, 8, 3, rng, padding=1),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(8 * 4 * 4, 6, rng),
+        )
+        out = net(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 6)
+
+    def test_cnn_gradients_flow_to_first_layer(self, rng):
+        net = Sequential(Conv2d(1, 2, 3, rng, padding=1), ReLU(), Flatten(),
+                         Linear(2 * 4 * 4, 1, rng))
+        out = net(Tensor(rng.standard_normal((1, 1, 4, 4)))).sum()
+        out.backward()
+        first = net.modules[0]
+        assert first.weight.grad is not None
+        assert np.abs(first.weight.grad).sum() > 0
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        ln = LayerNorm(6)
+        x = Tensor(rng.standard_normal((4, 6)) * 10 + 5)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+class TestOptimisers:
+    def _loss(self, model, x, y):
+        return F.mse_loss(model(x), y)
+
+    def test_sgd_reduces_loss(self, rng):
+        model = Linear(3, 1, rng)
+        opt = SGD(model.parameters(), lr=0.05)
+        x = Tensor(rng.standard_normal((32, 3)))
+        true_w = rng.standard_normal((3, 1))
+        y = Tensor(x.data @ true_w)
+        first = None
+        for _ in range(100):
+            opt.zero_grad()
+            loss = self._loss(model, x, y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert self._loss(model, x, y).item() < 0.01 * first
+
+    def test_adam_fits_linear_regression(self, rng):
+        model = Linear(4, 1, rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        x = Tensor(rng.standard_normal((64, 4)))
+        true_w = np.array([[1.0], [-2.0], [0.5], [3.0]])
+        y = Tensor(x.data @ true_w + 0.7)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = self._loss(model, x, y)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(model.weight.data, true_w, atol=0.05)
+        np.testing.assert_allclose(model.bias.data, [0.7], atol=0.05)
+
+    def test_sgd_momentum_changes_trajectory(self, rng):
+        x = Tensor(rng.standard_normal((16, 2)))
+        y = Tensor(rng.standard_normal((16, 1)))
+        plain = Linear(2, 1, np.random.default_rng(5))
+        momentum = Linear(2, 1, np.random.default_rng(5))
+        opt_a = SGD(plain.parameters(), lr=0.01)
+        opt_b = SGD(momentum.parameters(), lr=0.01, momentum=0.9)
+        for _ in range(5):
+            for opt, model in ((opt_a, plain), (opt_b, momentum)):
+                opt.zero_grad()
+                self._loss(model, x, y).backward()
+                opt.step()
+        assert not np.allclose(plain.weight.data, momentum.weight.data)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        model = Linear(3, 1, rng, bias=False)
+        opt = SGD(model.parameters(), lr=0.1, weight_decay=1.0)
+        x = Tensor(np.zeros((4, 3)))
+        y = Tensor(np.zeros((4, 1)))
+        before = np.abs(model.weight.data).sum()
+        for _ in range(10):
+            opt.zero_grad()
+            self._loss(model, x, y).backward()
+            opt.step()
+        assert np.abs(model.weight.data).sum() < before
+
+    def test_clip_grad_norm(self, rng):
+        model = Linear(3, 1, rng)
+        out = (model(Tensor(100.0 * np.ones((8, 3)))) ** 2.0).sum()
+        out.backward()
+        opt = SGD(model.parameters(), lr=0.1)
+        norm_before = opt.clip_grad_norm(1.0)
+        assert norm_before > 1.0
+        total = sum(float((p.grad ** 2).sum()) for p in model.parameters())
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])

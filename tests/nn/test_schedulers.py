@@ -1,0 +1,100 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Linear
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineDecay,
+    LinearDecay,
+    StepDecay,
+    WarmupWrapper,
+)
+
+
+@pytest.fixture
+def optimizer():
+    model = Linear(2, 1, np.random.default_rng(0))
+    return SGD(model.parameters(), lr=0.1)
+
+
+class TestSchedulers:
+    def test_constant(self, optimizer):
+        sched = ConstantLR(optimizer)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.1)
+
+    def test_linear_decay_endpoints(self, optimizer):
+        sched = LinearDecay(optimizer, total_steps=10, final_fraction=0.2)
+        first = sched.step()
+        assert first < 0.1
+        for _ in range(20):
+            last = sched.step()
+        assert last == pytest.approx(0.1 * 0.2)
+        assert optimizer.lr == pytest.approx(last)
+
+    def test_linear_decay_monotone(self, optimizer):
+        sched = LinearDecay(optimizer, total_steps=10)
+        lrs = [sched.step() for _ in range(12)]
+        assert all(a >= b - 1e-15 for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_endpoints(self, optimizer):
+        sched = CosineDecay(optimizer, total_steps=10, min_lr=0.01)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.01)
+        assert lrs[0] > lrs[-1]
+
+    def test_step_decay(self, optimizer):
+        sched = StepDecay(optimizer, period=3, gamma=0.5)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.05)
+        assert lrs[6] == pytest.approx(0.025)
+
+    def test_warmup_then_inner(self, optimizer):
+        inner = ConstantLR(optimizer)
+        sched = WarmupWrapper(inner, warmup_steps=4)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.1 / 4)
+        assert lrs[3] == pytest.approx(0.1)
+        assert lrs[5] == pytest.approx(0.1)
+
+    def test_reset(self, optimizer):
+        sched = LinearDecay(optimizer, total_steps=5)
+        for _ in range(5):
+            sched.step()
+        sched.reset()
+        assert optimizer.lr == pytest.approx(0.1)
+        assert sched.step_count == 0
+
+    def test_invalid_params(self, optimizer):
+        with pytest.raises(ValueError):
+            LinearDecay(optimizer, total_steps=0)
+        with pytest.raises(ValueError):
+            CosineDecay(optimizer, total_steps=-1)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, period=0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(ConstantLR(optimizer), warmup_steps=-1)
+
+    def test_scheduler_actually_affects_training(self):
+        """End to end: decayed SGD takes smaller late steps."""
+        rng = np.random.default_rng(0)
+        model = Linear(3, 1, rng)
+        opt = SGD(model.parameters(), lr=0.5)
+        sched = LinearDecay(opt, total_steps=10, final_fraction=0.01)
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        x = Tensor(rng.standard_normal((8, 3)))
+        y = Tensor(rng.standard_normal((8, 1)))
+        deltas = []
+        for _ in range(10):
+            opt.zero_grad()
+            F.mse_loss(model(x), y).backward()
+            before = model.weight.data.copy()
+            opt.step()
+            sched.step()
+            deltas.append(np.abs(model.weight.data - before).sum())
+        assert deltas[-1] < deltas[0]

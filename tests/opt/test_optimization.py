@@ -1,0 +1,142 @@
+"""Tests for gate sizing, buffering, and the optimization loop."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_design, map_design
+from repro.opt import (
+    buffer_heavy_nets,
+    critical_cells,
+    insert_buffer,
+    optimize_design,
+    upsize_critical,
+)
+from repro.place import place_design
+from repro.route import PreRouteEstimator
+from repro.sta import ClockConstraint, run_sta
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_sky130_library()
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+def placed_design(name, lib, seed=0):
+    nl = map_design(make_design(name), lib)
+    fp = place_design(nl, seed=seed)
+    return nl, fp
+
+
+class TestSizing:
+    def test_critical_cells_sorted_worst_first(self, sky):
+        nl, fp = placed_design("jpeg", sky)
+        report = run_sta(nl, PreRouteEstimator(nl),
+                         ClockConstraint(2.0))  # brutally tight
+        ranked = critical_cells(nl, report)
+        assert ranked
+        slacks = [s for s, _ in ranked]
+        assert slacks == sorted(slacks)
+        assert all(s < 0 for s in slacks)
+
+    def test_upsize_changes_refs(self, sky):
+        nl, fp = placed_design("jpeg", sky)
+        clock = ClockConstraint(2.0)
+        report = run_sta(nl, PreRouteEstimator(nl), clock)
+        before = {c.name: c.ref.drive_strength for c in nl.cells.values()}
+        changed = upsize_critical(nl, report, max_changes=20)
+        assert 0 < changed <= 20
+        after = {c.name: c.ref.drive_strength for c in nl.cells.values()}
+        grew = [n for n in before if after[n] > before[n]]
+        assert len(grew) == changed
+
+    def test_upsize_respects_budget(self, sky):
+        nl, fp = placed_design("jpeg", sky)
+        report = run_sta(nl, PreRouteEstimator(nl), ClockConstraint(2.0))
+        assert upsize_critical(nl, report, max_changes=3) <= 3
+
+    def test_upsizing_improves_wns(self, sky):
+        nl, fp = placed_design("jpeg", sky)
+        clock = ClockConstraint(2.0)
+        report = run_sta(nl, PreRouteEstimator(nl), clock)
+        wns_before = report.wns
+        upsize_critical(nl, report, max_changes=200)
+        wns_after = run_sta(nl, PreRouteEstimator(nl), clock).wns
+        assert wns_after > wns_before
+
+
+class TestBuffering:
+    def test_insert_buffer_rewires(self, asap):
+        nl, fp = placed_design("arm9", asap)
+        net = max((n for n in nl.nets.values() if not n.is_clock),
+                  key=lambda n: n.fanout)
+        sinks = list(net.sinks[:2])
+        n_cells = len(nl.cells)
+        buf = insert_buffer(nl, net, sinks, fp)
+        assert len(nl.cells) == n_cells + 1
+        assert buf.pins["A"].net is net
+        for s in sinks:
+            assert s.net is buf.output_pin.net
+        nl.validate()
+
+    def test_insert_buffer_rejects_foreign_sinks(self, asap):
+        nl, fp = placed_design("arm9", asap)
+        nets = [n for n in nl.nets.values() if n.sinks and not n.is_clock]
+        with pytest.raises(ValueError):
+            insert_buffer(nl, nets[0], [nets[1].sinks[0]], fp)
+        with pytest.raises(ValueError):
+            insert_buffer(nl, nets[0], [], fp)
+
+    def test_buffer_placed_on_row(self, asap):
+        nl, fp = placed_design("arm9", asap)
+        net = max((n for n in nl.nets.values() if not n.is_clock),
+                  key=lambda n: n.fanout)
+        buf = insert_buffer(nl, net, list(net.sinks), fp)
+        row = round(buf.y / fp.row_height - 0.5)
+        assert buf.y == pytest.approx(fp.row_y(int(row)))
+
+    def test_buffer_heavy_nets_caps_fanout(self, asap):
+        nl, fp = placed_design("or1200", asap)
+        worst_before = max(n.fanout for n in nl.nets.values()
+                           if not n.is_clock)
+        buffer_heavy_nets(nl, fp, max_fanout=6, max_changes=1000)
+        worst_after = max(n.fanout for n in nl.nets.values()
+                          if not n.is_clock)
+        assert worst_after <= max(worst_before, 7)
+        assert worst_after < worst_before
+        nl.validate()
+
+
+class TestOptimizerLoop:
+    def test_optimizer_fixes_tight_design(self, sky):
+        nl, fp = placed_design("jpeg", sky)
+        clock = ClockConstraint(4.0)
+        result = optimize_design(nl, fp, clock)
+        assert result.wns_after > result.wns_before
+        assert result.cells_upsized > 0
+
+    def test_optimizer_restructures(self, asap):
+        """Buffering changes the netlist graph: the paper's premise."""
+        nl, fp = placed_design("hwacha", asap)
+        nets_before = len(nl.nets)
+        result = optimize_design(nl, fp)
+        assert result.restructured
+        assert len(nl.nets) > nets_before
+
+    def test_endpoints_stable_under_optimization(self, asap):
+        """Timing endpoints must survive restructuring (paper Sec 2.1)."""
+        nl, fp = placed_design("chacha", asap)
+        names_before = {p.full_name for p in nl.timing_endpoints()}
+        optimize_design(nl, fp)
+        names_after = {p.full_name for p in nl.timing_endpoints()}
+        assert names_before == names_after
+
+    def test_optimized_netlist_validates(self, asap):
+        nl, fp = placed_design("smallboom", asap)
+        optimize_design(nl, fp)
+        nl.validate()

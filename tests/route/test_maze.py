@@ -1,0 +1,102 @@
+"""Tests for the congestion-aware maze router."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_design, map_design
+from repro.place import Floorplan, place_design
+from repro.route import (
+    MazeRouter,
+    RoutingGrid,
+    dijkstra_route,
+    maze_route_design,
+)
+from repro.sta import run_sta
+from repro.techlib import make_asap7_library
+
+
+@pytest.fixture(scope="module")
+def placed():
+    lib = make_asap7_library()
+    nl = map_design(make_design("linkruncca"), lib)
+    fp = place_design(nl, seed=3)
+    return nl, fp
+
+
+class TestDijkstra:
+    def _grid(self, penalty=0.4):
+        fp = Floorplan(10.0, 10.0, 1.0, 0.1)
+        return RoutingGrid(fp, bins=10, congestion_penalty=penalty)
+
+    def test_straight_line_cost(self):
+        grid = self._grid()
+        path, cost = dijkstra_route(grid, (0, 0), (5, 0))
+        assert len(path) == 6
+        assert cost == pytest.approx(5 * grid.step_x)
+
+    def test_same_bin(self):
+        grid = self._grid()
+        path, cost = dijkstra_route(grid, (3, 3), (3, 3))
+        assert path == [(3, 3)] and cost == 0.0
+
+    def test_path_is_connected(self):
+        grid = self._grid()
+        path, _ = dijkstra_route(grid, (0, 0), (7, 9))
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_congestion_forces_detour(self):
+        """A wall of congestion makes the router go around it."""
+        grid = self._grid(penalty=100.0)
+        # Build a congested vertical wall at i = 3, leaving row 9 open.
+        for j in range(9):
+            grid.usage[3, j] = 50.0
+        path, _ = dijkstra_route(grid, (0, 0), (6, 0))
+        wall_hits = [p for p in path if p[0] == 3]
+        assert all(p[1] == 9 for p in wall_hits)  # crossed at the gap
+
+
+class TestMazeRouter:
+    def test_all_nets_routed(self, placed):
+        nl, fp = placed
+        router = MazeRouter(nl, fp)
+        router.run()
+        signal = [n for n in nl.nets.values()
+                  if n.driver and n.sinks and not n.is_clock]
+        assert set(router.trees) == {n.index for n in signal}
+
+    def test_every_sink_attached(self, placed):
+        nl, fp = placed
+        router = MazeRouter(nl, fp)
+        router.run()
+        for net in nl.nets.values():
+            if net.index not in router.trees:
+                continue
+            tree = router.trees[net.index]
+            assert set(tree.sink_node) == {s.index for s in net.sinks}
+
+    def test_usage_accumulates(self, placed):
+        nl, fp = placed
+        router = MazeRouter(nl, fp)
+        router.run()
+        assert router.grid.usage.sum() > 0
+
+    def test_signoff_sta_runs_on_maze_parasitics(self, placed):
+        nl, fp = placed
+        parasitics = maze_route_design(nl, fp)
+        report = run_sta(nl, parasitics)
+        assert report.endpoint_arrivals
+        assert all(at > 0 for at in report.endpoint_arrivals.values())
+
+    def test_maze_lengths_comparable_to_mst(self, placed):
+        """Maze wirelength is within a small factor of the MST router's."""
+        from repro.route import GlobalRouter
+
+        nl, fp = placed
+        maze = MazeRouter(nl, fp)
+        maze.run()
+        mst = GlobalRouter(nl, fp, seed=0, jitter=0.0, detour_factor=0.0)
+        mst.run()
+        total_maze = sum(maze.routed_length.values())
+        total_mst = sum(mst.routed_length.values())
+        assert total_maze < 4.0 * total_mst + 1e-9

@@ -1,0 +1,201 @@
+"""Tests for pre-route estimation, global routing and RUDY maps."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_design, map_design
+from repro.place import place_design
+from repro.route import (
+    GlobalRouter,
+    PreRouteEstimator,
+    hpwl,
+    manhattan,
+    route_design,
+    rudy_map,
+)
+from repro.route.router import _mst_edges
+from repro.techlib import make_asap7_library
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+@pytest.fixture(scope="module")
+def placed(asap):
+    nl = map_design(make_design("chacha"), asap)
+    fp = place_design(nl, seed=4)
+    return nl, fp
+
+
+class TestEstimator:
+    def test_hpwl_simple(self, placed):
+        nl, _ = placed
+        net = next(n for n in nl.nets.values()
+                   if n.fanout >= 1 and not n.is_clock)
+        xs = [p.x for p in net.pins]
+        ys = [p.y for p in net.pins]
+        assert hpwl(net) == pytest.approx(
+            (max(xs) - min(xs)) + (max(ys) - min(ys))
+        )
+
+    def test_net_load_includes_pin_caps(self, placed):
+        nl, _ = placed
+        est = PreRouteEstimator(nl)
+        net = next(n for n in nl.nets.values()
+                   if n.fanout >= 2 and not n.is_clock)
+        assert est.net_load(net) >= net.total_sink_cap()
+
+    def test_fanout_factor_grows_length(self, placed):
+        nl, _ = placed
+        low = PreRouteEstimator(nl, fanout_factor=0.0)
+        high = PreRouteEstimator(nl, fanout_factor=0.5)
+        net = next(n for n in nl.nets.values()
+                   if n.fanout >= 3 and not n.is_clock and hpwl(n) > 0)
+        assert high.estimated_length(net) > low.estimated_length(net)
+
+    def test_wire_delay_zero_for_coincident_pins(self, placed):
+        nl, _ = placed
+        est = PreRouteEstimator(nl)
+        for net in nl.nets.values():
+            if net.driver is None or net.is_clock:
+                continue
+            for sink in net.sinks:
+                d = est.wire_delay(net, sink)
+                assert d >= 0.0
+                if manhattan(net.driver, sink) == 0.0:
+                    assert d == 0.0
+
+
+class TestMST:
+    def test_mst_spans_all_pins(self, placed):
+        nl, _ = placed
+        net = max((n for n in nl.nets.values() if not n.is_clock),
+                  key=lambda n: n.fanout)
+        pins = [net.driver] + net.sinks
+        edges = _mst_edges(pins)
+        assert len(edges) == len(pins) - 1
+        reached = {0}
+        for pa, pc in edges:
+            assert pa in reached  # parents appear before children
+            reached.add(pc)
+        assert reached == set(range(len(pins)))
+
+    def test_mst_is_minimal_for_collinear_points(self, asap):
+        """Three collinear pins: MST length equals the span."""
+        from repro.netlist import Netlist
+        nl = Netlist("t", asap)
+        src = nl.add_port("a", "input")
+        net = nl.add_net()
+        nl.connect(net, src)
+        sink_caps = []
+        for k in range(2):
+            inv = nl.add_cell(asap.pick("INV", 1.0))
+            nl.connect(net, inv.pins["A"])
+        pins = [net.driver] + net.sinks
+        pins[0].x, pins[0].y = 0.0, 0.0
+        pins[1].x, pins[1].y = 5.0, 0.0
+        pins[2].x, pins[2].y = 10.0, 0.0
+        edges = _mst_edges(pins)
+        total = sum(manhattan(pins[a], pins[b]) for a, b in edges)
+        assert total == pytest.approx(10.0)
+
+
+class TestRouter:
+    def test_all_signal_nets_routed(self, placed):
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        signal_nets = [n for n in nl.nets.values()
+                       if n.driver and n.sinks and not n.is_clock]
+        assert set(router.trees) == {n.index for n in signal_nets}
+
+    def test_routed_length_at_least_mst(self, placed):
+        """Detours and jitter only ever lengthen wires."""
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        for net in nl.nets.values():
+            if net.index not in router.trees:
+                continue
+            pins = [net.driver] + net.sinks
+            mst_len = sum(manhattan(pins[a], pins[b])
+                          for a, b in _mst_edges(pins))
+            assert router.routed_length[net.index] >= mst_len - 1e-9
+
+    def test_congestion_grid_accumulates(self, placed):
+        nl, fp = placed
+        router = GlobalRouter(nl, fp, seed=0)
+        router.run()
+        assert router.grid.demand.sum() > 0
+        assert router.grid.max_utilization > 0
+
+    def test_parasitics_cover_every_sink(self, placed):
+        nl, fp = placed
+        par = route_design(nl, fp, seed=0)
+        for net in nl.nets.values():
+            if net.driver is None or not net.sinks or net.is_clock:
+                continue
+            assert par.net_load(net) > 0
+            for sink in net.sinks:
+                assert par.wire_delay(net, sink) >= 0
+                assert par.slew_degradation(net, sink) >= 0
+
+    def test_routing_deterministic_given_seed(self, placed):
+        nl, fp = placed
+        a = GlobalRouter(nl, fp, seed=9)
+        b = GlobalRouter(nl, fp, seed=9)
+        a.run()
+        b.run()
+        for idx in a.routed_length:
+            assert a.routed_length[idx] == pytest.approx(
+                b.routed_length[idx]
+            )
+
+    def test_higher_detour_factor_slows_nets(self, placed):
+        nl, fp = placed
+        calm = GlobalRouter(nl, fp, detour_factor=0.0, seed=0, jitter=0.0)
+        jam = GlobalRouter(nl, fp, detour_factor=8.0, seed=0, jitter=0.0)
+        calm.run()
+        jam.run()
+        total_calm = sum(calm.routed_length.values())
+        total_jam = sum(jam.routed_length.values())
+        assert total_jam >= total_calm
+
+
+class TestRudy:
+    def test_shape_and_nonnegative(self, placed):
+        nl, fp = placed
+        grid = rudy_map(nl, fp, resolution=16)
+        assert grid.shape == (16, 16)
+        assert (grid >= 0).all()
+        assert grid.sum() > 0
+
+    def test_empty_design_is_zero(self, asap):
+        from repro.netlist import Netlist
+        from repro.place import make_floorplan
+        nl = Netlist("t", asap)
+        fp = make_floorplan(nl) if nl.cells else None
+        if fp is None:
+            from repro.place import Floorplan
+            fp = Floorplan(10.0, 10.0, 1.0, 0.1)
+        grid = rudy_map(nl, fp, resolution=8)
+        assert grid.sum() == 0
+
+    def test_demand_concentrates_where_nets_are(self, asap):
+        """A single net in one corner only marks that corner."""
+        from repro.netlist import Netlist
+        from repro.place import Floorplan
+        nl = Netlist("t", asap)
+        src = nl.add_port("a", "input")
+        net = nl.add_net()
+        nl.connect(net, src)
+        inv = nl.add_cell(asap.pick("INV", 1.0))
+        nl.connect(net, inv.pins["A"])
+        src.x, src.y = 1.0, 1.0
+        inv.pins["A"].x, inv.pins["A"].y = 2.0, 2.0
+        fp = Floorplan(100.0, 100.0, 1.0, 0.1)
+        grid = rudy_map(nl, fp, resolution=10)
+        assert grid[0, 0] > 0
+        assert grid[5:, 5:].sum() == 0

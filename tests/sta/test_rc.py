@@ -1,0 +1,98 @@
+"""Tests for RC trees and Elmore delay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sta import RCTree
+
+
+class TestRCTree:
+    def test_single_segment_elmore(self):
+        """Classic RC: delay = R * C for one segment with a lumped cap."""
+        tree = RCTree()
+        node = tree.add_node(0, res=2.0, cap=0.0)
+        tree.attach_sink(42, node, pin_cap=0.5)
+        delays = tree.sink_delays()
+        assert delays[42] == pytest.approx(2.0 * 0.5)
+
+    def test_pi_segment_elmore(self):
+        """Pi model: downstream cap includes the far half, not the near."""
+        tree = RCTree()
+        tree.add_root_cap(0.1)  # near half, not seen through R
+        node = tree.add_node(0, res=1.0, cap=0.1)  # far half
+        tree.attach_sink(1, node, pin_cap=0.3)
+        assert tree.sink_delays()[1] == pytest.approx(1.0 * (0.1 + 0.3))
+        assert tree.total_cap() == pytest.approx(0.5)
+
+    def test_chain_elmore(self):
+        """Two-stage chain: second sink sees both resistances."""
+        tree = RCTree()
+        n1 = tree.add_node(0, res=1.0, cap=0.2)
+        n2 = tree.add_node(n1, res=2.0, cap=0.1)
+        tree.attach_sink(1, n1, 0.0)
+        tree.attach_sink(2, n2, 0.0)
+        delays = tree.sink_delays()
+        # d(n1) = R1 * (C1 + C2); d(n2) = d(n1) + R2 * C2
+        assert delays[1] == pytest.approx(1.0 * 0.3)
+        assert delays[2] == pytest.approx(1.0 * 0.3 + 2.0 * 0.1)
+
+    def test_branch_isolation(self):
+        """A sibling branch's R does not add to this sink's delay."""
+        tree = RCTree()
+        a = tree.add_node(0, res=1.0, cap=0.1)
+        b = tree.add_node(0, res=5.0, cap=0.1)
+        tree.attach_sink(1, a, 0.0)
+        tree.attach_sink(2, b, 0.0)
+        delays = tree.sink_delays()
+        assert delays[1] == pytest.approx(1.0 * 0.1)
+        assert delays[2] == pytest.approx(5.0 * 0.1)
+
+    def test_invalid_parent_rejected(self):
+        tree = RCTree()
+        with pytest.raises(ValueError):
+            tree.add_node(5, 1.0, 1.0)
+
+    def test_negative_values_rejected(self):
+        tree = RCTree()
+        with pytest.raises(ValueError):
+            tree.add_node(0, -1.0, 0.0)
+
+    def test_slew_degradation_proportional_to_elmore(self):
+        tree = RCTree()
+        node = tree.add_node(0, res=2.0, cap=0.0)
+        tree.attach_sink(7, node, 0.25)
+        deg = tree.slew_degradations()[7]
+        assert deg == pytest.approx(np.log(9.0) * 0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        res=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+        caps=st.lists(st.floats(0.001, 1.0), min_size=8, max_size=8),
+    )
+    def test_chain_matches_closed_form(self, res, caps):
+        """Property: chain Elmore equals the double-sum formula."""
+        caps = caps[: len(res)]
+        tree = RCTree()
+        parent = 0
+        for r, c in zip(res, caps):
+            parent = tree.add_node(parent, r, c)
+        tree.attach_sink(0, parent, 0.0)
+        expected = 0.0
+        for i, r in enumerate(res):
+            expected += r * sum(caps[i:])
+        assert tree.sink_delays()[0] == pytest.approx(expected, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(extra_cap=st.floats(0.0, 5.0))
+    def test_monotone_in_downstream_cap(self, extra_cap):
+        """Adding downstream capacitance never reduces any Elmore delay."""
+        def build(extra):
+            tree = RCTree()
+            n1 = tree.add_node(0, 1.0, 0.1)
+            n2 = tree.add_node(n1, 1.0, 0.1 + extra)
+            tree.attach_sink(1, n1, 0.0)
+            return tree.sink_delays()[1]
+
+        assert build(extra_cap) >= build(0.0) - 1e-12

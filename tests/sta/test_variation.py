@@ -1,0 +1,86 @@
+"""Tests for OCV derating and Monte-Carlo statistical STA."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_design, map_design
+from repro.place import place_design
+from repro.route import PreRouteEstimator
+from repro.sta import (
+    DeratedParasitics,
+    MonteCarloSTA,
+    format_statistical_report,
+    run_ocv_sta,
+    run_sta,
+)
+from repro.techlib import make_asap7_library
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lib = make_asap7_library()
+    nl = map_design(make_design("usbf_device"), lib)
+    place_design(nl, seed=0)
+    return nl, PreRouteEstimator(nl)
+
+
+class TestDerating:
+    def test_invalid_derate_rejected(self, setup):
+        _, est = setup
+        with pytest.raises(ValueError):
+            DeratedParasitics(est, 0.0)
+
+    def test_late_derate_never_speeds_up(self, setup):
+        nl, est = setup
+        base = run_sta(nl, est)
+        late = run_ocv_sta(nl, est, late_derate=1.3)
+        for name, at in base.endpoint_arrivals.items():
+            assert late.endpoint_arrivals[name] >= at - 1e-12
+
+    def test_unity_derate_identical(self, setup):
+        nl, est = setup
+        base = run_sta(nl, est)
+        same = run_ocv_sta(nl, est, late_derate=1.0)
+        for name, at in base.endpoint_arrivals.items():
+            assert same.endpoint_arrivals[name] == pytest.approx(at)
+
+
+class TestMonteCarloSTA:
+    def test_sample_shapes(self, setup):
+        nl, est = setup
+        mc = MonteCarloSTA(nl, est, sigma_global=0.05, sigma_wire=0.0,
+                           seed=1)
+        report = mc.run_samples(16)
+        k = len(report.endpoint_names)
+        assert report.samples.shape == (16, k)
+        assert report.mean().shape == (k,)
+
+    def test_spread_grows_with_sigma(self, setup):
+        nl, est = setup
+        tight = MonteCarloSTA(nl, est, sigma_global=0.01,
+                              sigma_wire=0.0, seed=2).run_samples(32)
+        wide = MonteCarloSTA(nl, est, sigma_global=0.2,
+                             sigma_wire=0.0, seed=2).run_samples(32)
+        assert wide.std().mean() > tight.std().mean()
+
+    def test_quantiles_ordered(self, setup):
+        nl, est = setup
+        mc = MonteCarloSTA(nl, est, seed=3)
+        report = mc.run_samples(24)
+        q50 = report.quantile(0.5)
+        q997 = report.quantile(0.997)
+        assert (q997 >= q50 - 1e-12).all()
+
+    def test_yield_monotone_in_period(self, setup):
+        nl, est = setup
+        report = MonteCarloSTA(nl, est, seed=4).run_samples(24)
+        slow = report.yield_at(report.samples.max() * 1.01)
+        fast = report.yield_at(report.samples.max() * 0.5)
+        assert slow == 1.0
+        assert fast <= slow
+
+    def test_report_rendering(self, setup):
+        nl, est = setup
+        report = MonteCarloSTA(nl, est, seed=5).run_samples(8)
+        text = format_statistical_report(report, period=1.0)
+        assert "yield" in text and "q99.7" in text

@@ -1,0 +1,65 @@
+"""Tests for the parametric cell builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.techlib import build_cell
+
+SLEW = (0.01, 0.05, 0.2)
+LOAD = (0.001, 0.01, 0.1)
+
+
+def make(drive=1.0, **kw):
+    defaults = dict(
+        name=f"t_x{drive}", function="NAND2", drive=drive, n_inputs=2,
+        intrinsic=0.05, unit_drive_res=2.0, input_cap=0.004,
+        slew_axis=SLEW, load_axis=LOAD, area=5.0, leakage=1.0,
+    )
+    defaults.update(kw)
+    return build_cell(**defaults)
+
+
+class TestBuildCell:
+    def test_arcs_per_input(self):
+        cell = make()
+        assert len(cell.arcs) == 2
+        assert {a.input_pin for a in cell.arcs} == {"A", "B"}
+        assert all(a.output_pin == "Y" for a in cell.arcs)
+
+    def test_sequential_shape(self):
+        dff = make(function="DFF", is_sequential=True, setup_time=0.1,
+                   clk_to_q=0.2, name="dff")
+        assert dff.input_pins == ["D", "CK"]
+        assert dff.output_pin == "Q"
+        assert len(dff.arcs) == 1
+        assert dff.arcs[0].input_pin == "CK"
+
+    def test_drive_scaling_laws(self):
+        x1, x4 = make(1.0), make(4.0)
+        load, slew = 0.05, 0.05
+        assert x4.arcs[0].delay.lookup(slew, load) \
+            < x1.arcs[0].delay.lookup(slew, load)
+        assert x4.input_cap("A") > x1.input_cap("A")
+        assert x4.area > x1.area
+        assert x4.leakage > x1.leakage
+
+    @settings(max_examples=25, deadline=None)
+    @given(drive=st.floats(0.5, 8.0))
+    def test_tables_positive_everywhere(self, drive):
+        cell = make(drive)
+        for arc in cell.arcs:
+            assert (arc.delay.values > 0).all()
+            assert (arc.output_slew.values > 0).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        intrinsic=st.floats(0.001, 1.0),
+        res=st.floats(0.1, 20.0),
+    )
+    def test_delay_exceeds_intrinsic_floor(self, intrinsic, res):
+        cell = make(intrinsic=intrinsic, unit_drive_res=res)
+        floor = intrinsic * (0.7 + 0.3 / 1.0)
+        min_delay = min(float(a.delay.values.min()) for a in cell.arcs)
+        assert min_delay >= floor - 1e-12

@@ -1,0 +1,110 @@
+"""Tests for the synthetic 130nm/7nm libraries and the node gap they encode."""
+
+import numpy as np
+import pytest
+
+from repro.techlib import (
+    make_asap7_library,
+    make_sky130_library,
+    merged_cell_vocabulary,
+)
+
+
+@pytest.fixture(scope="module")
+def sky():
+    return make_sky130_library()
+
+
+@pytest.fixture(scope="module")
+def asap():
+    return make_asap7_library()
+
+
+class TestLibraryStructure:
+    def test_basic_counts(self, sky, asap):
+        assert len(sky) == 10 * 3 + 2
+        assert len(asap) == 11 * 4 + 3
+
+    def test_disjoint_cell_names(self, sky, asap):
+        assert not set(sky.cells) & set(asap.cells)
+
+    def test_merged_vocabulary(self, sky, asap):
+        vocab = merged_cell_vocabulary([sky, asap])
+        assert len(vocab) == len(sky) + len(asap)
+        assert vocab == sorted(vocab)
+
+    def test_different_function_mixes(self, sky, asap):
+        """Each node has functions the other lacks (forces remapping)."""
+        sky_fns, asap_fns = set(sky.functions), set(asap.functions)
+        assert "AND2" in sky_fns and "AND2" not in asap_fns
+        assert "NAND3" in asap_fns and "NAND3" not in sky_fns
+
+    def test_pick_selects_nearest_drive(self, sky):
+        assert sky.pick("INV", 1.0).drive_strength == 1.0
+        assert sky.pick("INV", 3.0).drive_strength in (2.0, 4.0)
+        assert sky.pick("INV", 100.0).drive_strength == 4.0
+
+    def test_pick_unknown_function_raises(self, asap):
+        with pytest.raises(KeyError):
+            asap.pick("AND2")
+
+    def test_upsize_downsize_ladder(self, sky):
+        x1 = sky.pick("NAND2", 1.0)
+        x2 = sky.upsize(x1)
+        assert x2.drive_strength == 2.0
+        assert sky.downsize(x2) is x1
+        top = sky.pick("NAND2", 4.0)
+        assert sky.upsize(top) is None
+        assert sky.downsize(x1) is None
+
+    def test_sequential_cells(self, sky, asap):
+        for lib in (sky, asap):
+            dff = lib.pick("DFF", 1.0)
+            assert dff.is_sequential
+            assert dff.setup_time > 0
+            assert dff.clk_to_q > 0
+            assert dff.input_pins == ["D", "CK"]
+            assert dff.arcs[0].input_pin == "CK"
+
+    def test_stats_keys(self, sky):
+        stats = sky.stats()
+        assert stats["num_cells"] == len(sky)
+        assert stats["mean_input_cap"] > 0
+
+
+class TestNodeGap:
+    """The two nodes must differ by roughly an order of magnitude in speed."""
+
+    def test_inverter_delay_gap(self, sky, asap):
+        sky_inv = sky.pick("INV", 1.0)
+        asap_inv = asap.pick("INV", 1.0)
+        # Evaluate each at a typical fanout-of-4 load for its own node.
+        sky_d = sky_inv.arcs[0].delay.lookup(0.05, 4 * sky_inv.input_cap("A"))
+        asap_d = asap_inv.arcs[0].delay.lookup(0.008,
+                                               4 * asap_inv.input_cap("A"))
+        assert sky_d / asap_d > 5.0
+
+    def test_input_cap_gap(self, sky, asap):
+        sky_cap = sky.pick("NAND2", 1.0).input_cap("A")
+        asap_cap = asap.pick("NAND2", 1.0).input_cap("A")
+        assert sky_cap / asap_cap > 4.0
+
+    def test_clock_period_gap(self, sky, asap):
+        assert sky.default_clock_period / asap.default_clock_period > 5.0
+
+    def test_area_gap(self, sky, asap):
+        assert sky.pick("INV", 1.0).area / asap.pick("INV", 1.0).area > 10.0
+
+    def test_stronger_drive_is_faster_but_bigger(self, sky):
+        x1 = sky.pick("NAND2", 1.0)
+        x4 = sky.pick("NAND2", 4.0)
+        load = 0.05
+        d1 = x1.arcs[0].delay.lookup(0.05, load)
+        d4 = x4.arcs[0].delay.lookup(0.05, load)
+        assert d4 < d1
+        assert x4.area > x1.area
+        assert x4.input_cap("A") > x1.input_cap("A")
+
+    def test_max_delay_estimate_positive(self, sky):
+        for cell in sky.cells.values():
+            assert cell.max_delay_estimate > 0

@@ -1,0 +1,84 @@
+"""Tests for derived/scaled technology libraries."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import make_design, map_design
+from repro.techlib import make_sky130_library
+from repro.techlib.scaling import make_interpolated_node, scale_library
+
+
+class TestScaleLibrary:
+    def test_invalid_factors_rejected(self):
+        sky = make_sky130_library()
+        with pytest.raises(ValueError):
+            scale_library(sky, "x", 65.0, -1.0, 1.0, 1.0)
+
+    def test_delay_tables_scale(self):
+        sky = make_sky130_library()
+        half = scale_library(sky, "half_synth", 65.0, 0.5, 1.0, 1.0)
+        inv_a = sky.pick("INV", 1.0)
+        inv_b = half.pick("INV", 1.0)
+        np.testing.assert_allclose(inv_b.arcs[0].delay.values,
+                                   0.5 * inv_a.arcs[0].delay.values)
+        np.testing.assert_allclose(inv_b.arcs[0].delay.slew_axis,
+                                   0.5 * inv_a.arcs[0].delay.slew_axis)
+
+    def test_caps_and_area_scale(self):
+        sky = make_sky130_library()
+        small = scale_library(sky, "s_synth", 65.0, 1.0, 0.25, 0.1)
+        a = sky.pick("NAND2", 2.0)
+        b = small.pick("NAND2", 2.0)
+        assert b.input_cap("A") == pytest.approx(0.25 * a.input_cap("A"))
+        assert b.area == pytest.approx(0.1 * a.area)
+        assert b.leakage == pytest.approx(0.1 * a.leakage)
+
+    def test_sequential_constraints_scale(self):
+        sky = make_sky130_library()
+        fast = scale_library(sky, "f_synth", 65.0, 0.2, 1.0, 1.0)
+        dff = fast.pick("DFF", 1.0)
+        ref = sky.pick("DFF", 1.0)
+        assert dff.setup_time == pytest.approx(0.2 * ref.setup_time)
+        assert dff.clk_to_q == pytest.approx(0.2 * ref.clk_to_q)
+
+
+class TestInterpolatedNode:
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            make_interpolated_node(3.0)
+        with pytest.raises(ValueError):
+            make_interpolated_node(180.0)
+
+    def test_intermediate_node_sits_between_anchors(self):
+        from repro.techlib import make_asap7_library
+
+        sky = make_sky130_library()
+        asap = make_asap7_library()
+        mid = make_interpolated_node(45.0)
+
+        def inv_delay(lib):
+            return float(lib.pick("INV", 1.0).arcs[0].delay.values.mean())
+
+        assert inv_delay(asap) < inv_delay(mid) < inv_delay(sky)
+
+    def test_monotone_across_nodes(self):
+        delays = []
+        for node in (90.0, 45.0, 22.0):
+            lib = make_interpolated_node(node)
+            delays.append(float(
+                lib.pick("INV", 1.0).arcs[0].delay.values.mean()
+            ))
+        assert delays == sorted(delays, reverse=True)
+
+    def test_derived_library_runs_the_flow(self):
+        """A scaled node is a drop-in for mapping, placement and STA."""
+        from repro.place import place_design
+        from repro.route import PreRouteEstimator
+        from repro.sta import run_sta
+
+        lib = make_interpolated_node(45.0)
+        nl = map_design(make_design("usbf_device"), lib)
+        place_design(nl, seed=0)
+        report = run_sta(nl, PreRouteEstimator(nl))
+        assert report.endpoint_arrivals
+        assert all(v > 0 for v in report.endpoint_arrivals.values())

@@ -1,0 +1,90 @@
+"""Tests for NLDM timing tables: interpolation, clamping, monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.techlib import TimingTable
+
+
+def _make_table():
+    return TimingTable.from_linear_model(
+        slew_axis=(0.01, 0.05, 0.1, 0.5),
+        load_axis=(0.001, 0.01, 0.05, 0.1),
+        intrinsic=0.05, drive_res=2.0, slew_sensitivity=0.25,
+    )
+
+
+#: Shared read-only table for the hypothesis tests (fixtures interact badly
+#: with hypothesis' per-example execution model).
+TABLE = _make_table()
+
+
+@pytest.fixture
+def table():
+    return TABLE
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimingTable((0.1, 0.2), (0.1,), np.zeros((2, 2)))
+
+    def test_non_monotone_axis_rejected(self):
+        with pytest.raises(ValueError):
+            TimingTable((0.2, 0.1), (0.1, 0.2), np.zeros((2, 2)))
+
+
+class TestLookup:
+    def test_exact_grid_points(self, table):
+        for i, s in enumerate(table.slew_axis):
+            for j, l in enumerate(table.load_axis):
+                assert table.lookup(s, l) == pytest.approx(table.values[i, j])
+
+    def test_linear_model_interpolates_exactly(self, table):
+        """A bilinear table built from a bilinear model is exact everywhere."""
+        s, l = 0.07, 0.03
+        expected = 0.05 + 2.0 * l + 0.25 * s
+        assert table.lookup(s, l) == pytest.approx(expected)
+
+    def test_clamps_below_and_above(self, table):
+        lo = table.lookup(0.0, 0.0)
+        assert lo == pytest.approx(table.values[0, 0])
+        hi = table.lookup(10.0, 10.0)
+        assert hi == pytest.approx(table.values[-1, -1])
+
+    def test_vectorised_lookup(self, table):
+        s = np.array([0.01, 0.07, 0.5])
+        l = np.array([0.001, 0.03, 0.1])
+        out = table.lookup(s, l)
+        assert out.shape == (3,)
+        for k in range(3):
+            assert out[k] == pytest.approx(table.lookup(s[k], l[k]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(s=st.floats(0.0, 1.0), l=st.floats(0.0, 0.2))
+    def test_lookup_within_table_range(self, s, l):
+        """Interpolated values never leave the convex hull of the table."""
+        value = TABLE.lookup(s, l)
+        assert TABLE.values.min() - 1e-12 <= value <= TABLE.values.max() + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        s1=st.floats(0.01, 0.5), s2=st.floats(0.01, 0.5),
+        l=st.floats(0.001, 0.1),
+    )
+    def test_monotone_in_slew(self, s1, s2, l):
+        """Delay grows with input slew for this (positive-slope) model."""
+        lo, hi = min(s1, s2), max(s1, s2)
+        assert TABLE.lookup(lo, l) <= TABLE.lookup(hi, l) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        l1=st.floats(0.001, 0.1), l2=st.floats(0.001, 0.1),
+        s=st.floats(0.01, 0.5),
+    )
+    def test_monotone_in_load(self, l1, l2, s):
+        """Delay grows with output load."""
+        lo, hi = min(l1, l2), max(l1, l2)
+        assert TABLE.lookup(s, lo) <= TABLE.lookup(s, hi) + 1e-12

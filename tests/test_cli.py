@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_args(self):
+        args = build_parser().parse_args(["flow", "arm9", "7nm"])
+        assert args.design == "arm9"
+        assert args.node == "7nm"
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "arm9", "3nm"])
+
+
+class TestCommands:
+    def test_libs(self, capsys):
+        assert main(["libs"]) == 0
+        out = capsys.readouterr().out
+        assert "sky130_synth" in out and "asap7_synth" in out
+
+    def test_sta_report(self, capsys):
+        assert main(["sta", "usbf_device", "7nm", "--paths", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "WNS" in out and "Startpoint:" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "usbf_device", "7nm",
+                     str(tmp_path)]) == 0
+        assert (tmp_path / "usbf_device.v").exists()
+        assert (tmp_path / "usbf_device.def").exists()
+        assert (tmp_path / "usbf_device.spef").exists()
+        assert (tmp_path / "asap7_synth.lib").exists()
+
+    def test_exported_files_parse_back(self, tmp_path):
+        main(["export", "usbf_device", "7nm", str(tmp_path)])
+        from repro.io import parse_liberty, parse_verilog
+
+        lib = parse_liberty((tmp_path / "asap7_synth.lib").read_text())
+        netlist = parse_verilog(
+            (tmp_path / "usbf_device.v").read_text(), lib
+        )
+        netlist.validate()
+
+
+class TestReportCommand:
+    def test_report(self, capsys):
+        assert main(["report", "usbf_device", "7nm"]) == 0
+        out = capsys.readouterr().out
+        assert "gate mix" in out
+        assert "total power" in out
+
+    def test_report_with_mc(self, capsys):
+        assert main(["report", "usbf_device", "7nm",
+                     "--mc-samples", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "statistical STA" in out

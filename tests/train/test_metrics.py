@@ -1,0 +1,64 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.train import mae, r2_score, rmse
+
+
+class TestR2:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.array([3.0, 1.0, -2.0])
+        assert r2_score(y, pred) < 0.0
+
+    def test_known_value(self):
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        pred = y + np.array([0.5, -0.5, 0.5, -0.5])
+        expected = 1.0 - (4 * 0.25) / 5.0
+        assert r2_score(y, pred) == pytest.approx(expected)
+
+    def test_constant_targets(self):
+        y = np.zeros(4)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == float("-inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.1, 10.0))
+    def test_r2_at_most_one(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        y = rng.standard_normal(20) * scale
+        pred = y + rng.standard_normal(20)
+        assert r2_score(y, pred) <= 1.0 + 1e-12
+
+
+class TestErrors:
+    def test_mae(self):
+        assert mae(np.array([0.0, 2.0]), np.array([1.0, 0.0])) == 1.5
+
+    def test_rmse(self):
+        assert rmse(np.array([0.0, 0.0]),
+                    np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_rmse_at_least_mae(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.standard_normal(15)
+        pred = rng.standard_normal(15)
+        assert rmse(y, pred) >= mae(y, pred) - 1e-12

@@ -1,0 +1,94 @@
+"""Tests for holdout-based checkpoint selection."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Tensor
+from repro.train.selection import CheckpointKeeper, HoldoutSelector
+
+
+class FakeDesign:
+    """Minimal stand-in exposing the attributes the selector reads."""
+
+    def __init__(self, name, node, n):
+        self.name = name
+        self.node = node
+        self.num_endpoints = n
+        self.labels = np.linspace(0.1, 1.0, n)
+
+
+class TestHoldoutSelector:
+    def test_splits_only_target_node(self):
+        designs = [FakeDesign("a", "7nm", 40),
+                   FakeDesign("b", "130nm", 40)]
+        sel = HoldoutSelector(designs, fraction=0.25, seed=0)
+        assert sel.training_pool(designs[0]) is not None
+        assert sel.training_pool(designs[1]) is None
+        assert [d.name for d in sel.val_designs] == ["a"]
+
+    def test_pools_partition_endpoints(self):
+        design = FakeDesign("a", "7nm", 40)
+        sel = HoldoutSelector([design], fraction=0.25, seed=0)
+        train = set(sel.training_pool(design).tolist())
+        val = set(sel.validation_pool(design).tolist())
+        assert train | val == set(range(40))
+        assert not train & val
+        assert len(val) == 10
+
+    def test_tiny_designs_not_split(self):
+        design = FakeDesign("a", "7nm", 3)
+        sel = HoldoutSelector([design], fraction=0.25, seed=0)
+        assert len(sel.training_pool(design)) == 3
+        assert sel.val_designs == []
+
+    def test_same_seed_same_split(self):
+        design = FakeDesign("a", "7nm", 30)
+        a = HoldoutSelector([design], fraction=0.2, seed=5)
+        b = HoldoutSelector([design], fraction=0.2, seed=5)
+        np.testing.assert_array_equal(a.validation_pool(design),
+                                      b.validation_pool(design))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HoldoutSelector([], fraction=0.0)
+        with pytest.raises(ValueError):
+            HoldoutSelector([], fraction=1.0)
+
+    def test_validate_scores_perfect_predictor(self):
+        design = FakeDesign("a", "7nm", 20)
+        sel = HoldoutSelector([design], fraction=0.3, seed=0)
+
+        def perfect(d, idx):
+            return d.labels[idx]
+
+        assert sel.validate(perfect) == pytest.approx(1.0)
+
+    def test_validate_scores_mean_predictor_below_perfect(self):
+        design = FakeDesign("a", "7nm", 20)
+        sel = HoldoutSelector([design], fraction=0.3, seed=0)
+
+        def mean_pred(d, idx):
+            return np.full(len(idx), d.labels.mean())
+
+        assert sel.validate(mean_pred) < 1.0
+
+
+class TestCheckpointKeeper:
+    def test_keeps_best_and_restores(self):
+        rng = np.random.default_rng(0)
+        model = Linear(3, 1, rng)
+        keeper = CheckpointKeeper(model)
+        assert keeper.offer(0.5)
+        best_weights = model.weight.data.copy()
+        model.weight.data += 1.0
+        assert not keeper.offer(0.2)  # worse score: snapshot unchanged
+        assert keeper.offer(0.9)      # better: new snapshot of +1 weights
+        model.weight.data += 5.0
+        keeper.restore()
+        np.testing.assert_allclose(model.weight.data, best_weights + 1.0)
+
+    def test_restore_without_offer_is_noop(self):
+        model = Linear(2, 1, np.random.default_rng(0))
+        before = model.weight.data.copy()
+        CheckpointKeeper(model).restore()
+        np.testing.assert_allclose(model.weight.data, before)
