@@ -9,6 +9,9 @@ Environment knobs:
 - ``REPRO_BENCH_STEPS`` — training steps for the learning benches
   (default 150, matching the headline configuration).
 - ``REPRO_BENCH_SEED`` — seed for every learning bench (default 0).
+- ``REPRO_BENCH_WORKERS`` — processes for cold dataset builds
+  (default 1; cache hits make this moot on warm runs).
+- ``REPRO_BENCH_NO_CACHE`` — set to 1 to bypass the design cache.
 """
 
 import os
@@ -29,9 +32,18 @@ def bench_seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_use_cache() -> bool:
+    return os.environ.get("REPRO_BENCH_NO_CACHE", "0") != "1"
+
+
 @pytest.fixture(scope="session")
 def dataset():
-    return build_dataset()
+    return build_dataset(workers=bench_workers(),
+                         use_cache=bench_use_cache())
 
 
 @pytest.fixture(scope="session")

@@ -126,25 +126,40 @@ def cmd_train(args) -> int:
     from .experiments import build_dataset
     from .model import TimingPredictor
     from .train import OursTrainer, TrainConfig, r2_score
+    from .util import reset_timings, timing_report
 
-    dataset = build_dataset()
+    dataset = build_dataset(workers=args.workers,
+                            use_cache=not args.no_cache,
+                            cache_dir=args.cache_dir)
     model = TimingPredictor(dataset.in_features, seed=args.seed)
-    config = TrainConfig(steps=args.steps, seed=args.seed)
+    config = TrainConfig(steps=args.steps, seed=args.seed,
+                         fused=not args.no_fused)
     print(f"training ours for {args.steps} steps ...")
-    OursTrainer(model, dataset.train, config).fit()
+    if args.profile:
+        reset_timings()
+    trainer = OursTrainer(model, dataset.train, config)
+    history = trainer.fit()
+    step_seconds = np.array([h["step_seconds"] for h in history])
+    print(f"  {len(history)} steps, "
+          f"{step_seconds.mean():.3f} s/step "
+          f"({step_seconds.sum():.1f} s total)")
     scores = []
     for design in dataset.test:
         r2 = r2_score(design.labels, model.predict(design))
         scores.append(r2)
         print(f"  {design.name:>10}: R^2 = {r2:.3f}")
     print(f"  {'average':>10}: R^2 = {np.mean(scores):.3f}")
+    if args.profile:
+        print("\nphase timings:")
+        print(timing_report())
     return 0
 
 
 def cmd_experiments(args) -> int:
     from .experiments.runner import run_all
 
-    run_all(args.names or None, seed=args.seed, steps=args.steps)
+    run_all(args.names or None, seed=args.seed, steps=args.steps,
+            workers=args.workers, use_cache=not args.no_cache)
     return 0
 
 
@@ -184,12 +199,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train the paper's model")
     p.add_argument("--steps", type=int, default=150)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for cold dataset builds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk design cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="design cache root (default $REPRO_CACHE_DIR)")
+    p.add_argument("--no-fused", action="store_true",
+                   help="use the legacy per-design training loop")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase timing totals after training")
 
     p = sub.add_parser("experiments",
                        help="regenerate the paper's tables/figures")
     p.add_argument("names", nargs="*")
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for cold dataset builds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk design cache")
     return parser
 
 

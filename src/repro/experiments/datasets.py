@@ -5,26 +5,22 @@ smallboom at 7nm for training, five 7nm designs for testing — through the
 full synthetic PnR flow, with joint feature normalisation fitted on the
 training graphs only.
 
-Because flow runs are deterministic but not free, built datasets are
-cached on disk (``~/.cache/repro-dac24`` by default) keyed by their
-parameters.
+Because flow runs are deterministic but not free, each built design is
+cached on disk (``~/.cache/repro-dac24`` by default, see
+:mod:`repro.flow.cache`) keyed by name/node/scale/resolution/seed plus
+a code-version salt; cold builds can fan out over worker processes.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
-from ..features import (
-    GateVocabulary,
-    apply_normalization,
-    normalize_features,
-)
-from ..flow import DesignData, PnRFlow, load_design_data, save_design_data
+from ..features import apply_normalization, normalize_features
+from ..flow import DesignData, build_designs
 from ..netlist import TEST_SPLIT, TRAIN_SPLIT
 from ..techlib import make_asap7_library, make_sky130_library
 
@@ -72,51 +68,27 @@ def make_libraries():
     return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
 
 
-def _cache_dir() -> Path:
-    root = os.environ.get("REPRO_CACHE_DIR",
-                          os.path.join(os.path.expanduser("~"),
-                                       ".cache", "repro-dac24"))
-    path = Path(root)
-    path.mkdir(parents=True, exist_ok=True)
-    return path
-
-
 def build_dataset(scale: float = None, resolution: int = None,
-                  seed: int = None, use_cache: bool = True
+                  seed: int = None, use_cache: bool = True,
+                  workers: int = 1,
+                  cache_dir: Union[str, Path, None] = None
                   ) -> ExperimentDataset:
     """Build (or load from cache) the full Table-1 dataset.
 
     Normalisation is fitted on the training graphs and applied to the
-    test graphs; the returned dataset is ready for training.
+    test graphs; the returned dataset is ready for training.  Designs
+    are cached individually (see :class:`repro.flow.FlowCache`); cold
+    builds run in ``workers`` processes when ``workers > 1``.
     """
     scale = DATASET_SCALE["scale"] if scale is None else scale
     resolution = DATASET_SCALE["resolution"] if resolution is None \
         else resolution
     seed = DATASET_SCALE["seed"] if seed is None else seed
 
-    key = f"dataset_v2_s{scale}_r{resolution}_seed{seed}"
-    cache = _cache_dir() / key
     names = list(TRAIN_SPLIT.items()) + [(n, "7nm") for n in TEST_SPLIT]
-
-    designs: List[DesignData] = []
-    if use_cache and cache.is_dir():
-        try:
-            designs = [
-                load_design_data(cache / f"{name}.npz")
-                for name, _ in names
-            ]
-        except (OSError, KeyError):
-            designs = []
-    if not designs:
-        libraries = make_libraries()
-        vocab = GateVocabulary(list(libraries.values()))
-        flow = PnRFlow(libraries, vocab=vocab, resolution=resolution,
-                       scale=scale, seed=seed)
-        designs = [flow.run(name, node) for name, node in names]
-        if use_cache:
-            cache.mkdir(parents=True, exist_ok=True)
-            for design in designs:
-                save_design_data(design, cache / f"{design.name}.npz")
+    designs = build_designs(names, scale=scale, resolution=resolution,
+                            seed=seed, workers=workers,
+                            use_cache=use_cache, cache_dir=cache_dir)
 
     train = designs[: len(TRAIN_SPLIT)]
     test = designs[len(TRAIN_SPLIT):]

@@ -38,11 +38,12 @@ EXPERIMENTS = {
 
 
 def run_all(names=None, seed: int = 0, steps: Optional[int] = None,
-            stream=None) -> None:
+            stream=None, workers: int = 1,
+            use_cache: bool = True) -> None:
     """Run the named experiments (all by default) and print results."""
     stream = stream or sys.stdout
     names = names or list(EXPERIMENTS) + ["reverse"]
-    dataset = build_dataset()
+    dataset = build_dataset(workers=workers, use_cache=use_cache)
     for name in names:
         t0 = time.perf_counter()
         if name == "reverse":
@@ -73,8 +74,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--steps", type=int, default=None,
                         help="override training steps (faster, rougher)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for cold dataset builds")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk design cache")
     args = parser.parse_args(argv)
-    run_all(args.experiments or None, seed=args.seed, steps=args.steps)
+    run_all(args.experiments or None, seed=args.seed, steps=args.steps,
+            workers=args.workers, use_cache=not args.no_cache)
     return 0
 
 

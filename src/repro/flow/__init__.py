@@ -1,5 +1,6 @@
-"""End-to-end data-generation flow and dataset containers."""
+"""End-to-end data-generation flow, caching, and dataset containers."""
 
+from .cache import CODE_SALT, FlowCache, build_designs, default_cache_dir
 from .dataset import (
     DesignData,
     dataset_statistics,
@@ -9,9 +10,13 @@ from .dataset import (
 from .pnr import PnRFlow, run_flow
 
 __all__ = [
+    "CODE_SALT",
     "DesignData",
+    "FlowCache",
     "PnRFlow",
+    "build_designs",
     "dataset_statistics",
+    "default_cache_dir",
     "load_design_data",
     "run_flow",
     "save_design_data",

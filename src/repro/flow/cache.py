@@ -1,0 +1,176 @@
+"""Per-design flow artifact cache + parallel dataset construction.
+
+The synthetic PnR flow is deterministic in ``(design, node, scale,
+resolution, seed)`` but not free (up to seconds per design), and every
+experiment/benchmark/test session rebuilds the same designs.  This
+module caches each design's :class:`~repro.flow.dataset.DesignData`
+as one ``.npz`` under a content key, and fans cold builds out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Cache keys include a **code-version salt** (:data:`CODE_SALT`): bump it
+whenever a flow change alters the produced arrays, and every stale
+entry misses instead of silently serving old data.  Corrupt or
+unreadable entries are discarded and rebuilt — the cache can always be
+deleted wholesale (``rm -rf ~/.cache/repro-dac24``) without losing
+anything but time.
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..features import GateVocabulary
+from ..techlib import TechLibrary, make_asap7_library, make_sky130_library
+from .dataset import DesignData, load_design_data, save_design_data
+
+__all__ = ["CODE_SALT", "FlowCache", "build_designs", "default_cache_dir"]
+
+#: Bump when flow semantics change (new features, new seeding, ...) so
+#: previously cached designs are rebuilt rather than reused.
+CODE_SALT = "flow-v3"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dac24``."""
+    root = os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.expanduser("~"), ".cache", "repro-dac24"),
+    )
+    return Path(root)
+
+
+class FlowCache:
+    """Content-keyed store of flow outputs, one ``.npz`` per design.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to ``default_cache_dir()/designs``.
+        Created lazily on first store.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None \
+            else default_cache_dir() / "designs"
+
+    # ------------------------------------------------------------------
+    def key(self, name: str, node: str, scale: float, resolution: int,
+            seed: int) -> str:
+        """Filename-safe cache key; any parameter change changes it."""
+        return (f"{name}@{node}_s{scale}_r{resolution}"
+                f"_seed{seed}_{CODE_SALT}")
+
+    def path(self, name: str, node: str, scale: float, resolution: int,
+             seed: int) -> Path:
+        return self.root / f"{self.key(name, node, scale, resolution, seed)}.npz"
+
+    # ------------------------------------------------------------------
+    def load(self, name: str, node: str, scale: float, resolution: int,
+             seed: int) -> Optional[DesignData]:
+        """The cached design, or None on miss.
+
+        A corrupt/truncated/stale-format entry counts as a miss: it is
+        deleted so the subsequent store replaces it.
+        """
+        path = self.path(name, node, scale, resolution, seed)
+        if not path.is_file():
+            return None
+        try:
+            return load_design_data(path)
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, design: DesignData, scale: float, resolution: int,
+              seed: int) -> Path:
+        """Persist one design atomically (write-temp-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(design.name, design.node, scale, resolution, seed)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
+        save_design_data(design, tmp)
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Parallel cold builds
+# ----------------------------------------------------------------------
+def _default_libraries() -> Dict[str, TechLibrary]:
+    return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+
+
+def _flow_worker(task: Tuple[str, str, float, int, int]) -> DesignData:
+    """Run one design through the flow (executes in a worker process).
+
+    Builds its own libraries/vocabulary: both are deterministic, so
+    every worker featurises against the same vocabulary as the parent.
+    """
+    name, node, scale, resolution, seed = task
+    from .pnr import PnRFlow
+
+    libraries = _default_libraries()
+    flow = PnRFlow(libraries, vocab=GateVocabulary(list(libraries.values())),
+                   resolution=resolution, scale=scale, seed=seed)
+    return flow.run(name, node)
+
+
+def build_designs(names: Sequence[Tuple[str, str]],
+                  scale: float = 1.0, resolution: int = 32, seed: int = 0,
+                  workers: int = 1, use_cache: bool = True,
+                  cache_dir: Union[str, Path, None] = None,
+                  libraries: Optional[Dict[str, TechLibrary]] = None,
+                  vocab: Optional[GateVocabulary] = None
+                  ) -> List[DesignData]:
+    """Build ``(name, node)`` designs, cached and optionally in parallel.
+
+    Parameters
+    ----------
+    names:
+        ``(design_name, node)`` pairs, returned in the same order.
+    workers:
+        Process count for cache misses; ``<= 1`` builds serially in
+        this process (no executor overhead).
+    use_cache:
+        When False neither reads nor writes the cache.
+    cache_dir:
+        Cache root override (default ``$REPRO_CACHE_DIR`` handling).
+    libraries / vocab:
+        Only used for serial builds; worker processes rebuild the
+        (deterministic) defaults themselves.
+    """
+    cache = FlowCache(cache_dir)
+    results: Dict[int, DesignData] = {}
+    misses: List[int] = []
+    for i, (name, node) in enumerate(names):
+        cached = cache.load(name, node, scale, resolution, seed) \
+            if use_cache else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            misses.append(i)
+
+    if misses and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(names[i][0], names[i][1], scale, resolution, seed)
+                 for i in misses]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, design in zip(misses, pool.map(_flow_worker, tasks)):
+                results[i] = design
+    elif misses:
+        from .pnr import PnRFlow
+
+        libraries = libraries or _default_libraries()
+        flow = PnRFlow(libraries,
+                       vocab=vocab or GateVocabulary(list(libraries.values())),
+                       resolution=resolution, scale=scale, seed=seed)
+        for i in misses:
+            results[i] = flow.run(*names[i])
+
+    if use_cache:
+        for i in misses:
+            cache.store(results[i], scale, resolution, seed)
+    return [results[i] for i in range(len(names))]

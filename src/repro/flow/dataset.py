@@ -58,6 +58,21 @@ class DesignData:
     def num_endpoints(self) -> int:
         return int(self.labels.shape[0])
 
+    def path_image_stack(self) -> np.ndarray:
+        """``(K, C, R, R)`` cone-masked layout images, computed once.
+
+        Every training step needs ``images * cone_masks[subset]`` for its
+        sampled endpoints; masking the full endpoint set once and caching
+        the stack turns that into a pure index, instead of re-multiplying
+        the images every step.  Images and masks are immutable after the
+        flow, so the cache never needs invalidation.
+        """
+        stack = self.__dict__.get("_path_image_stack")
+        if stack is None:
+            stack = self.images[None, :, :, :] * self.cone_masks[:, None, :, :]
+            self.__dict__["_path_image_stack"] = stack
+        return stack
+
     def endpoint_table(self) -> List[Dict[str, float]]:
         """Per-endpoint records: name, label, pre-route estimate."""
         return [

@@ -12,6 +12,7 @@ labels, so the predictor must be restructuring-tolerant (Section 2.1).
 from __future__ import annotations
 
 import time
+import zlib
 from typing import Dict, Optional
 
 import numpy as np
@@ -62,7 +63,11 @@ class PnRFlow:
     def run(self, design_name: str, node: str) -> DesignData:
         """Run one design at one node through the flow."""
         library = self.libraries[node]
-        design_seed = self.seed + (hash((design_name, node)) % 10_000)
+        # Stable digest, NOT ``hash()``: the builtin is randomised per
+        # process (PYTHONHASHSEED), which would make flow outputs differ
+        # between runs/workers and defeat content-addressed caching.
+        digest = zlib.crc32(f"{design_name}@{node}".encode("utf-8"))
+        design_seed = self.seed + (digest % 10_000)
 
         t_start = time.perf_counter()
         graph_logic = make_design(design_name, scale=self.scale)

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..nn import Conv2d, Linear, Module, Tensor
 from ..nn import functional as F
+from ..util import timed
 
 
 class LayoutCNN(Module):
@@ -40,11 +41,12 @@ class LayoutCNN(Module):
 
     def forward(self, images: Tensor) -> Tensor:
         """``(K, C, R, R)`` masked images -> ``(K, out_features)``."""
-        h = F.max_pool2d(self.conv1(images).relu(), 2)
-        h = F.max_pool2d(self.conv2(h).relu(), 2)
-        h = self.conv3(h).relu()
-        h = F.global_avg_pool2d(h)
-        return self.project(h)
+        with timed("cnn.forward"):
+            h = F.max_pool2d(self.conv1(images).relu(), 2)
+            h = F.max_pool2d(self.conv2(h).relu(), 2)
+            h = self.conv3(h).relu()
+            h = F.global_avg_pool2d(h)
+            return self.project(h)
 
 
 def masked_path_images(images: np.ndarray,

@@ -10,6 +10,17 @@ heterogeneous), and a node's embedding is
 
 computed level by level, so each embedding summarises the whole fanin
 cone below it — making the endpoint rows genuine *timing path* features.
+
+Two sweep implementations share the same math:
+
+- the **fused kernel** (default): one autograd node whose forward runs
+  the entire sweep in tight numpy (in-place level updates, BLAS message
+  matmuls) and whose backward replays the levels in reverse.  This
+  replaces the thousands of small per-level autograd nodes the naive
+  composition creates, which dominate wall-clock on small levels.
+- the **reference composition**: the original per-level gather/scatter
+  autograd ops, kept as the ground truth the fused kernel is validated
+  against (see ``reference_sweep`` and the equivalence tests).
 """
 
 from __future__ import annotations
@@ -20,10 +31,18 @@ import numpy as np
 
 from ..features import PinGraph
 from ..nn import Linear, Module, Tensor, gather_rows, scatter_add_rows
+from ..nn.tensor import _finish
+from ..util import is_legacy, legacy_mode, timed
 
 
 class _LevelPlan:
-    """Precomputed per-level edge groupings for one graph (cached)."""
+    """Precomputed per-level edge groupings for one graph (cached).
+
+    Construction is fully vectorised: destination rows are mapped to
+    level-local slots with ``np.searchsorted`` over the (unique) level
+    rows, and fanin counts come from one ``np.bincount`` — no per-edge
+    Python loop.
+    """
 
     def __init__(self, graph: PinGraph) -> None:
         node_level = np.zeros(graph.num_nodes, dtype=np.int64)
@@ -33,7 +52,11 @@ class _LevelPlan:
         for k, rows in enumerate(graph.levels):
             if k == 0:
                 continue
-            local = {int(r): i for i, r in enumerate(rows)}
+            rows = np.asarray(rows, dtype=np.int64)
+            # Rows are unique; a stable argsort makes searchsorted valid
+            # even if a caller hands us an unsorted level.
+            sorter = np.argsort(rows, kind="stable")
+            sorted_rows = rows[sorter]
             step = {"dst": rows}
             for kind, edges in (("net", graph.net_edges),
                                 ("cell", graph.cell_edges)):
@@ -43,12 +66,13 @@ class _LevelPlan:
                     dst = edges[1][mask]
                 else:
                     src = dst = np.zeros(0, dtype=np.int64)
-                dst_local = np.array([local[int(d)] for d in dst],
-                                     dtype=np.int64)
-                counts = np.ones(len(rows))
-                if dst_local.size:
+                if dst.size:
+                    dst_local = sorter[np.searchsorted(sorted_rows, dst)]
                     counts = np.bincount(dst_local, minlength=len(rows))
                     counts = np.maximum(counts, 1).astype(float)
+                else:
+                    dst_local = np.zeros(0, dtype=np.int64)
+                    counts = np.ones(len(rows))
                 step[f"{kind}_src"] = src
                 step[f"{kind}_dst_local"] = dst_local
                 step[f"{kind}_inv_count"] = (1.0 / counts)[:, None]
@@ -67,6 +91,77 @@ def _plan_for(graph: PinGraph) -> _LevelPlan:
         plan = _LevelPlan(graph)
         graph._gnn_plan = plan
     return plan
+
+
+#: The sweep follows the process-global legacy switch: inside
+#: ``legacy_mode()`` the naive per-level autograd composition runs
+#: (equivalence tests, pre-fusion benchmark baseline); production code
+#: paths always take the fused kernel.  Kept under its historical name.
+reference_sweep = legacy_mode
+
+
+def levelized_sweep(s: Tensor, w_net: Tensor, w_cell: Tensor,
+                    plan: _LevelPlan, level0: np.ndarray,
+                    num_nodes: int) -> Tensor:
+    """The whole levelised propagation as ONE autograd node.
+
+    Forward mirrors the reference composition exactly (each node's row
+    of ``h`` is written once, at its own level), but runs in plain numpy
+    with in-place buffers.  Backward replays the levels in reverse
+    topological order, accumulating into per-array gradient buffers —
+    the hand-written adjoint of the forward sweep.
+    """
+    s_data = s.data
+    wn, wc = w_net.data, w_cell.data
+    hidden = s_data.shape[1]
+    h = np.zeros((num_nodes, hidden), dtype=s_data.dtype)
+    if level0.size:
+        h[level0] = np.maximum(s_data[level0], 0.0)
+    for step in plan.steps:
+        dst = step["dst"]
+        total = s_data[dst].copy()
+        for kind, w in (("net", wn), ("cell", wc)):
+            src = step[f"{kind}_src"]
+            if src.size == 0:
+                continue
+            msgs = h[src] @ w
+            agg = np.zeros((len(dst), hidden), dtype=s_data.dtype)
+            np.add.at(agg, step[f"{kind}_dst_local"], msgs)
+            total += agg * step[f"{kind}_inv_count"]
+        h[dst] = np.maximum(total, 0.0)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        grad_h = np.array(grad, copy=True)
+        grad_s = np.zeros_like(s_data) if s.requires_grad else None
+        grad_wn = np.zeros_like(wn) if w_net.requires_grad else None
+        grad_wc = np.zeros_like(wc) if w_cell.requires_grad else None
+        for step in reversed(plan.steps):
+            dst = step["dst"]
+            grad_total = grad_h[dst] * (h[dst] > 0.0)
+            if grad_s is not None:
+                grad_s[dst] += grad_total
+            for kind, w, grad_w in (("net", wn, grad_wn),
+                                    ("cell", wc, grad_wc)):
+                src = step[f"{kind}_src"]
+                if src.size == 0:
+                    continue
+                grad_agg = grad_total * step[f"{kind}_inv_count"]
+                grad_msgs = grad_agg[step[f"{kind}_dst_local"]]
+                if grad_w is not None:
+                    grad_w += h[src].T @ grad_msgs
+                np.add.at(grad_h, src, grad_msgs @ w.T)
+        if level0.size:
+            grad_level0 = grad_h[level0] * (h[level0] > 0.0)
+            if grad_s is not None:
+                grad_s[level0] += grad_level0
+        if grad_s is not None:
+            out._send(s, grad_s)
+        if grad_wn is not None:
+            out._send(w_net, grad_wn)
+        if grad_wc is not None:
+            out._send(w_cell, grad_wc)
+
+    return _finish(h, (s, w_net, w_cell), backward)
 
 
 class TimingGNN(Module):
@@ -95,13 +190,20 @@ class TimingGNN(Module):
 
     def node_embeddings(self, graph: PinGraph) -> Tensor:
         """Embeddings for every pin, ``(N, hidden)``."""
+        with timed("gnn.sweep"):
+            s = self.lin_self(Tensor(graph.features))
+            if not graph.levels:
+                return s.relu()
+            if is_legacy():
+                return self._sweep_reference(graph, s)
+            return levelized_sweep(
+                s, self.lin_net.weight, self.lin_cell.weight,
+                _plan_for(graph), graph.levels[0], graph.num_nodes,
+            )
+
+    def _sweep_reference(self, graph: PinGraph, s: Tensor) -> Tensor:
+        """Per-level autograd composition (ground truth for the kernel)."""
         n = graph.num_nodes
-        x = Tensor(graph.features)
-        s = self.lin_self(x)
-
-        if not graph.levels:
-            return s.relu()
-
         level0 = graph.levels[0]
         h = scatter_add_rows(gather_rows(s, level0).relu(), level0, n)
         plan = _plan_for(graph)

@@ -12,6 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..util import is_legacy
 from .tensor import Tensor, _finish, as_tensor
 
 LOG_2PI = float(np.log(2.0 * np.pi))
@@ -126,7 +127,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
     c_out, c_in, kh, kw = weight.shape
     cols, oh, ow = _im2col(x.data, (kh, kw), stride, padding)
     w_mat = weight.data.reshape(c_out, c_in * kh * kw)
-    out_data = np.einsum("ok,nkl->nol", w_mat, cols)
+    legacy = is_legacy()
+    if legacy:
+        out_data = np.einsum("ok,nkl->nol", w_mat, cols)
+    else:
+        # Batched GEMM (BLAS) rather than einsum:
+        # (o,k) @ (n,k,l) -> (n,o,l).
+        out_data = np.matmul(w_mat, cols)
     if bias is not None:
         out_data = out_data + bias.data[None, :, None]
     out_data = out_data.reshape(x.shape[0], c_out, oh, ow)
@@ -136,12 +143,19 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
     def backward(grad: np.ndarray, out: Tensor) -> None:
         grad_mat = grad.reshape(x.shape[0], c_out, oh * ow)
         if weight.requires_grad:
-            g_w = np.einsum("nol,nkl->ok", grad_mat, cols)
+            if legacy:
+                g_w = np.einsum("nol,nkl->ok", grad_mat, cols)
+            else:
+                g_w = np.matmul(grad_mat,
+                                cols.transpose(0, 2, 1)).sum(axis=0)
             out._send(weight, g_w.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             out._send(bias, grad_mat.sum(axis=(0, 2)))
         if x.requires_grad:
-            g_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
+            if legacy:
+                g_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
+            else:
+                g_cols = np.matmul(w_mat.T, grad_mat)
             g_x = _col2im(g_cols, x.shape, (kh, kw), stride, padding, oh, ow)
             out._send(x, g_x)
 
@@ -163,14 +177,25 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
     flat = windows.reshape(n, c, oh, ow, kernel * kernel)
     arg = flat.argmax(axis=-1)
     out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    legacy = is_legacy()
 
     def backward(grad: np.ndarray, out: Tensor) -> None:
         g_x = np.zeros_like(x.data)
         ki, kj = np.divmod(arg, kernel)
-        n_i, c_i, oh_i, ow_i = np.indices((n, c, oh, ow))
-        rows = oh_i * stride + ki
-        cols_ = ow_i * stride + kj
-        np.add.at(g_x, (n_i, c_i, rows, cols_), grad)
+        if legacy or stride < kernel:
+            n_i, c_i, oh_i, ow_i = np.indices((n, c, oh, ow))
+            rows = oh_i * stride + ki
+            cols_ = ow_i * stride + kj
+            np.add.at(g_x, (n_i, c_i, rows, cols_), grad)
+        else:
+            # Non-overlapping windows: each input cell is the argmax of
+            # at most one window, so the scatter targets are unique and
+            # a flat fancy assignment replaces the slow np.add.at.
+            rows = np.arange(oh)[None, None, :, None] * stride + ki
+            cols_ = np.arange(ow)[None, None, None, :] * stride + kj
+            chan = (np.arange(n)[:, None, None, None] * c
+                    + np.arange(c)[None, :, None, None])
+            g_x.ravel()[(chan * h + rows) * w + cols_] = grad
         out._send(x, g_x)
 
     return _finish(out_data, (x,), backward)

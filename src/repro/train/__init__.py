@@ -1,6 +1,7 @@
 """Training loops, baseline strategies, and metrics."""
 
 from .batching import sample_endpoints, split_by_node
+from .fused import FusedDesignBatch, merge_pin_graphs, slice_ranges
 from .metrics import evaluate_per_design, mae, r2_score, rmse
 from .strategies import (
     BASELINE_STRATEGIES,
@@ -15,9 +16,12 @@ from .trainer import OursTrainer, TrainConfig, train_ours
 
 __all__ = [
     "BASELINE_STRATEGIES",
+    "FusedDesignBatch",
     "OursTrainer",
     "TrainConfig",
     "evaluate_per_design",
+    "merge_pin_graphs",
+    "slice_ranges",
     "mae",
     "measure_inference_runtime",
     "predict_head_for_node",

@@ -1,0 +1,18 @@
+"""Small cross-cutting utilities (timing, legacy-kernel switch)."""
+
+from .legacy import is_legacy, legacy_mode
+from .timing import (
+    get_timings,
+    reset_timings,
+    timed,
+    timing_report,
+)
+
+__all__ = [
+    "get_timings",
+    "is_legacy",
+    "legacy_mode",
+    "reset_timings",
+    "timed",
+    "timing_report",
+]

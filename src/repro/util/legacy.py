@@ -1,0 +1,36 @@
+"""Process-global switch selecting the pre-fusion reference kernels.
+
+The performance work (DESIGN.md, "Performance architecture") replaced
+several inner kernels — the per-level autograd GNN sweep, the einsum
+convolution, per-step cone masking — with fused/BLAS equivalents.  The
+originals are kept behind this flag as a numerics oracle and as the
+benchmark baseline: ``legacy_mode()`` makes every dual-implementation
+kernel run its original form, so equivalence tests and the
+fused-vs-looped benchmark compare against the seed implementation
+rather than against already-optimised pieces.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["is_legacy", "legacy_mode"]
+
+_LEGACY = False
+
+
+def is_legacy() -> bool:
+    """True while inside a :func:`legacy_mode` block."""
+    return _LEGACY
+
+
+@contextmanager
+def legacy_mode():
+    """Run dual-implementation kernels in their original (seed) form."""
+    global _LEGACY
+    previous = _LEGACY
+    _LEGACY = True
+    try:
+        yield
+    finally:
+        _LEGACY = previous

@@ -1,0 +1,96 @@
+"""Lightweight wall-clock instrumentation with a process-global registry.
+
+``timed`` is both a context manager and a decorator::
+
+    with timed("gnn.sweep"):
+        ...
+
+    @timed("flow.run")
+    def run(...):
+        ...
+
+Every enter/exit pair adds one call and its elapsed seconds to the named
+accumulator.  The registry is a plain module-level dict (the repro stack
+is single-threaded); ``timing_report()`` renders it as a table sorted by
+total time so perf work can see where steps spend their time, and
+``reset_timings()`` clears it between measurements.
+
+The overhead per timed block is two ``perf_counter`` calls and a dict
+update (~1 microsecond), so instrumenting once-per-step phases is free;
+avoid wrapping per-element inner loops.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, Optional
+
+#: name -> {"calls": int, "seconds": float}
+_REGISTRY: Dict[str, Dict[str, float]] = {}
+
+
+class timed:
+    """Accumulate wall-clock time under ``name`` (context manager/decorator)."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start: Optional[float] = None
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        record(self.name, time.perf_counter() - self._start)
+
+    # -- decorator ------------------------------------------------------
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                record(self.name, time.perf_counter() - start)
+
+        return wrapper
+
+
+def record(name: str, seconds: float) -> None:
+    """Add one observation to the named accumulator."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        entry = _REGISTRY[name] = {"calls": 0, "seconds": 0.0}
+    entry["calls"] += 1
+    entry["seconds"] += seconds
+
+
+def get_timings() -> Dict[str, Dict[str, float]]:
+    """Snapshot of the registry: ``{name: {"calls", "seconds"}}``."""
+    return {name: dict(entry) for name, entry in _REGISTRY.items()}
+
+
+def reset_timings() -> None:
+    """Clear every accumulator (start of a measurement window)."""
+    _REGISTRY.clear()
+
+
+def timing_report() -> str:
+    """Render the registry as an aligned table, sorted by total seconds."""
+    if not _REGISTRY:
+        return "(no timings recorded)"
+    rows = sorted(_REGISTRY.items(), key=lambda kv: -kv[1]["seconds"])
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{'phase':<{width}}  {'calls':>7}  {'total s':>9}  "
+             f"{'mean ms':>9}"]
+    for name, entry in rows:
+        calls = int(entry["calls"])
+        total = entry["seconds"]
+        mean_ms = 1e3 * total / max(calls, 1)
+        lines.append(f"{name:<{width}}  {calls:>7d}  {total:>9.3f}  "
+                     f"{mean_ms:>9.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""FlowCache / build_designs correctness.
+
+A cache hit must reproduce the flow output exactly; keys must change
+with every parameter; ``use_cache=False`` must bypass the store; and a
+corrupt entry must be discarded and rebuilt, never served.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowCache, build_designs, run_flow
+from repro.techlib import make_asap7_library, make_sky130_library
+
+NAMES = [("usbf_device", "7nm")]
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    libraries = {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+    return run_flow("usbf_device", "7nm", libraries, resolution=16)
+
+
+def _assert_identical(a, b):
+    assert a.name == b.name and a.node == b.node
+    np.testing.assert_array_equal(a.graph.features, b.graph.features)
+    np.testing.assert_array_equal(a.graph.net_edges, b.graph.net_edges)
+    np.testing.assert_array_equal(a.graph.cell_edges, b.graph.cell_edges)
+    np.testing.assert_array_equal(a.graph.endpoint_rows,
+                                  b.graph.endpoint_rows)
+    assert a.graph.endpoint_names == b.graph.endpoint_names
+    assert len(a.graph.levels) == len(b.graph.levels)
+    for la, lb in zip(a.graph.levels, b.graph.levels):
+        np.testing.assert_array_equal(la, lb)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.cone_masks, b.cone_masks)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.pre_route_at, b.pre_route_at)
+    assert a.clock_period == b.clock_period
+
+
+class TestCacheHit:
+    def test_hit_returns_exact_arrays(self, tmp_path, fresh):
+        (cold,) = build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        (warm,) = build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        _assert_identical(cold, fresh)
+        _assert_identical(warm, cold)
+
+    def test_hit_does_not_rerun_flow(self, tmp_path):
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        cache = FlowCache(tmp_path)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        mtime = path.stat().st_mtime_ns
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        assert path.stat().st_mtime_ns == mtime
+
+
+class TestCacheKey:
+    def test_key_changes_per_parameter(self):
+        cache = FlowCache("/tmp/unused")
+        base = cache.key("jpeg", "7nm", 1.0, 32, 0)
+        assert cache.key("jpeg", "130nm", 1.0, 32, 0) != base
+        assert cache.key("jpeg", "7nm", 2.0, 32, 0) != base
+        assert cache.key("jpeg", "7nm", 1.0, 16, 0) != base
+        assert cache.key("jpeg", "7nm", 1.0, 32, 7) != base
+        assert cache.key("spiMaster", "7nm", 1.0, 32, 0) != base
+
+    def test_scale_and_seed_miss_the_cache(self, tmp_path):
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        cache = FlowCache(tmp_path)
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0) is not None
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 1) is None
+        assert cache.load("usbf_device", "7nm", 0.5, 16, 0) is None
+        assert cache.load("usbf_device", "7nm", 1.0, 32, 0) is None
+
+
+class TestBypassAndCorruption:
+    def test_no_cache_writes_nothing(self, tmp_path):
+        build_designs(NAMES, resolution=16, use_cache=False,
+                      cache_dir=tmp_path)
+        assert not list(tmp_path.rglob("*.npz"))
+
+    def test_no_cache_ignores_existing_entries(self, tmp_path, fresh):
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        cache = FlowCache(tmp_path)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        path.write_bytes(b"poisoned")  # would crash if loaded
+        (rebuilt,) = build_designs(NAMES, resolution=16, use_cache=False,
+                                   cache_dir=tmp_path)
+        _assert_identical(rebuilt, fresh)
+        assert path.read_bytes() == b"poisoned"  # bypass never touched it
+
+    def test_corrupt_entry_discarded_and_rebuilt(self, tmp_path, fresh):
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        cache = FlowCache(tmp_path)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        path.write_bytes(b"\x00" * 64)
+        (rebuilt,) = build_designs(NAMES, resolution=16,
+                                   cache_dir=tmp_path)
+        _assert_identical(rebuilt, fresh)
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0) is not None
+
+
+class TestParallelBuild:
+    def test_workers_match_serial(self, tmp_path, fresh):
+        names = [("usbf_device", "7nm"), ("spiMaster", "130nm")]
+        serial = build_designs(names, resolution=16, use_cache=False)
+        parallel = build_designs(names, resolution=16, workers=2,
+                                 use_cache=False)
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+        _assert_identical(serial[0], fresh)

@@ -1,0 +1,101 @@
+"""Fused cross-design step vs. the legacy per-design loop.
+
+The fused path (one union-graph GNN sweep + one stacked CNN forward per
+step) must be numerically equivalent to looping over designs: same RNG
+consumption, same losses, same gradients, same optimiser trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import GateVocabulary, normalize_features
+from repro.flow import run_flow
+from repro.model import TimingPredictor
+from repro.techlib import make_asap7_library, make_sky130_library
+from repro.train import (
+    FusedDesignBatch,
+    OursTrainer,
+    TrainConfig,
+    merge_pin_graphs,
+    slice_ranges,
+)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    libraries = {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
+    vocab = GateVocabulary(list(libraries.values()))
+    out = [
+        run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                 resolution=16),
+        run_flow("spiMaster", "130nm", libraries, vocab=vocab,
+                 resolution=16),
+    ]
+    normalize_features([d.graph for d in out])
+    return out
+
+
+@pytest.fixture(scope="module")
+def in_features(designs):
+    return designs[0].graph.features.shape[1]
+
+
+def _train(designs, in_features, fused, steps):
+    model = TimingPredictor(in_features, seed=0)
+    cfg = TrainConfig(steps=steps, seed=0, fused=fused,
+                      holdout_fraction=0.0)
+    trainer = OursTrainer(model, designs, cfg)
+    history = [trainer.step(warmup=(t < 2)) for t in range(steps)]
+    return model, history
+
+
+class TestMergedGraph:
+    def test_union_shapes_and_levels(self, designs):
+        graphs = [d.graph for d in designs]
+        merged = merge_pin_graphs(graphs)
+        assert merged.num_nodes == sum(g.num_nodes for g in graphs)
+        assert len(merged.levels) == max(len(g.levels) for g in graphs)
+        # Every node appears in exactly one level.
+        all_levels = np.concatenate(merged.levels)
+        assert len(np.unique(all_levels)) == merged.num_nodes
+        assert merged.endpoint_rows.shape[0] == \
+            sum(g.endpoint_rows.shape[0] for g in graphs)
+
+    def test_slice_ranges(self):
+        assert slice_ranges([3, 0, 2]) == [(0, 3), (3, 3), (3, 5)]
+
+    def test_batch_rows_match_per_design_rows(self, designs):
+        batch = FusedDesignBatch(designs)
+        subsets = [np.array([0, 2]), np.array([1])]
+        rows = batch.merged_endpoint_rows(subsets)
+        offset = designs[0].graph.num_nodes
+        expected = np.concatenate([
+            designs[0].graph.endpoint_rows[[0, 2]],
+            designs[1].graph.endpoint_rows[[1]] + offset,
+        ])
+        assert np.array_equal(rows, expected)
+
+
+class TestStepEquivalence:
+    def test_one_step_losses_and_params_match(self, designs, in_features):
+        m_fused, h_fused = _train(designs, in_features, True, 1)
+        m_loop, h_loop = _train(designs, in_features, False, 1)
+        for key in ("total", "elbo", "contrastive", "cmd"):
+            assert h_fused[0][key] == pytest.approx(h_loop[0][key],
+                                                    abs=1e-8)
+        for p_f, p_l in zip(m_fused.parameters(), m_loop.parameters()):
+            np.testing.assert_allclose(p_f.data, p_l.data, atol=1e-8)
+
+    def test_ten_steps_stay_on_the_same_trajectory(self, designs,
+                                                   in_features):
+        m_fused, h_fused = _train(designs, in_features, True, 10)
+        m_loop, h_loop = _train(designs, in_features, False, 10)
+        # Loose tolerance: float noise may compound over ten Adam steps.
+        assert h_fused[-1]["total"] == pytest.approx(h_loop[-1]["total"],
+                                                     rel=1e-4)
+        for p_f, p_l in zip(m_fused.parameters(), m_loop.parameters()):
+            np.testing.assert_allclose(p_f.data, p_l.data, atol=1e-4)
+
+    def test_history_records_step_seconds(self, designs, in_features):
+        _, history = _train(designs, in_features, True, 1)
+        assert history[0]["step_seconds"] > 0.0

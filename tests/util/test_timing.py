@@ -1,0 +1,84 @@
+"""Tests for the timing instrumentation registry."""
+
+import time
+
+import pytest
+
+from repro.util import get_timings, reset_timings, timed, timing_report
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_timings()
+    yield
+    reset_timings()
+
+
+class TestContextManager:
+    def test_accumulates_calls_and_seconds(self):
+        for _ in range(3):
+            with timed("phase.a"):
+                time.sleep(0.002)
+        entry = get_timings()["phase.a"]
+        assert entry["calls"] == 3
+        assert entry["seconds"] >= 0.005
+
+    def test_separate_names_are_independent(self):
+        with timed("x"):
+            pass
+        with timed("y"):
+            pass
+        timings = get_timings()
+        assert timings["x"]["calls"] == 1
+        assert timings["y"]["calls"] == 1
+
+    def test_records_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with timed("boom"):
+                raise RuntimeError("fail")
+        assert get_timings()["boom"]["calls"] == 1
+
+    def test_nesting(self):
+        with timed("outer"):
+            with timed("inner"):
+                pass
+        timings = get_timings()
+        assert timings["outer"]["calls"] == 1
+        assert timings["inner"]["calls"] == 1
+
+
+class TestDecorator:
+    def test_decorated_function_counts_calls(self):
+        @timed("decorated")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert f(2) == 3
+        assert get_timings()["decorated"]["calls"] == 2
+
+    def test_decorator_preserves_metadata(self):
+        @timed("meta")
+        def g():
+            """docstring"""
+
+        assert g.__name__ == "g"
+        assert g.__doc__ == "docstring"
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert "no timings" in timing_report()
+
+    def test_report_lists_phases(self):
+        with timed("alpha"):
+            pass
+        report = timing_report()
+        assert "alpha" in report
+        assert "calls" in report
+
+    def test_reset_clears(self):
+        with timed("gone"):
+            pass
+        reset_timings()
+        assert get_timings() == {}
