@@ -1,0 +1,34 @@
+"""Repo-specific correctness tooling: static lint + autograd audit.
+
+Two numerics paths (the legacy per-design kernels and the fused
+union-graph sweep) run over a hand-rolled autograd engine, where bugs
+corrupt results silently instead of crashing.  This package makes the
+checks that guard against that mechanical:
+
+- :mod:`repro.check.rules` — the pluggable registry of AST lint rules
+  enforcing repo invariants (stable digests instead of builtin
+  ``hash()``, seeded RNGs, no broad excepts, no mutable defaults, no
+  in-place ``Tensor.data`` mutation outside the audited whitelist);
+- :mod:`repro.check.lint` — the file/waiver driver
+  (``# repro-check: disable=<rule> -- justification``);
+- :mod:`repro.check.gradcheck` — the autograd contract auditor: every
+  op in :mod:`repro.nn.functional` plus the fused levelised-sweep node
+  is finite-difference checked and screened for NaN/inf and dtype
+  drift;
+- :mod:`repro.check.cli` — ``repro check`` / ``python -m repro.check``.
+"""
+
+from .gradcheck import OpCase, check_case, run_gradcheck
+from .lint import lint_file, run_lint
+from .rules import RULES, Finding, TENSOR_DATA_WHITELIST
+
+__all__ = [
+    "Finding",
+    "OpCase",
+    "RULES",
+    "TENSOR_DATA_WHITELIST",
+    "check_case",
+    "lint_file",
+    "run_gradcheck",
+    "run_lint",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.check`` — same surface as ``repro check``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""`repro check` — run the static linter and the autograd auditor.
+
+Exit status is 0 only when both passes are clean; any finding (or an
+unjustified/stale waiver) makes the command fail, which is what lets CI
+and ``tests/check/test_self_clean.py`` gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from .gradcheck import CASES, run_gradcheck
+from .lint import run_lint
+from .rules import META_RULES, RULES, Finding
+
+
+def default_lint_paths() -> List[Path]:
+    """The installed ``repro`` package source tree."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _render_text(findings: Sequence[Finding], checked_lint: bool,
+                 checked_grad: bool, emit: Callable[[str], None]) -> None:
+    for finding in findings:
+        emit(finding.format())
+    ran = [name for name, on in (("lint", checked_lint),
+                                 ("gradcheck", checked_grad)) if on]
+    if findings:
+        emit(f"repro check: {len(findings)} finding(s) "
+             f"[{', '.join(ran)}]")
+    else:
+        emit(f"repro check: clean [{', '.join(ran)}]")
+
+
+def _render_json(findings: Sequence[Finding], checked_lint: bool,
+                 checked_grad: bool, emit: Callable[[str], None]) -> None:
+    by_rule = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    emit(json.dumps({
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": by_rule,
+            "ran": {"lint": checked_lint, "gradcheck": checked_grad},
+        },
+    }, indent=2, sort_keys=True))
+
+
+def run_check(paths: Optional[Sequence] = None, fmt: str = "text",
+              do_lint: bool = True, do_gradcheck: bool = True,
+              list_rules: bool = False,
+              emit: Callable[[str], None] = print) -> int:
+    """Programmatic entry point; returns the process exit status."""
+    if list_rules:
+        for entry in RULES.values():
+            emit(f"{entry.name}: {entry.description}")
+        for name, description in META_RULES.items():
+            emit(f"{name}: {description} (driver-emitted)")
+        emit(f"gradcheck: finite-difference + NaN/dtype audit over "
+             f"{len(CASES)} registered op cases")
+        return 0
+
+    findings: List[Finding] = []
+    if do_lint:
+        findings.extend(run_lint(list(paths) if paths
+                                 else default_lint_paths()))
+    if do_gradcheck:
+        findings.extend(run_gradcheck())
+
+    if fmt == "json":
+        _render_json(findings, do_lint, do_gradcheck, emit)
+    else:
+        _render_text(findings, do_lint, do_gradcheck, emit)
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="repo-specific static lint + autograd contract audit",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             "(default: the repro package source)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", help="output format")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the static linter")
+    parser.add_argument("--no-gradcheck", action="store_true",
+                        help="skip the autograd contract audit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every rule with its description")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_check(paths=args.paths, fmt=args.format,
+                     do_lint=not args.no_lint,
+                     do_gradcheck=not args.no_gradcheck,
+                     list_rules=args.list_rules)

@@ -1,0 +1,265 @@
+"""The pluggable lint-rule registry.
+
+A rule is a function ``(FileContext) -> Iterable[Finding]`` registered
+under a stable kebab-case name with :func:`rule`.  The driver in
+:mod:`repro.check.lint` parses each file once and hands every rule the
+same :class:`FileContext`; rules walk the AST and emit findings, which
+the driver then filters against inline waivers.
+
+Every rule here encodes an invariant this repo has been bitten by (or
+is structurally exposed to), not general style — style is ruff's job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+
+#: Modules allowed to mutate ``Tensor.data`` in place.  Everything on
+#: this list is *outside* the differentiable region or is an audited
+#: hand-written kernel whose adjoint accounts for the mutation:
+#:
+#: - ``repro/nn/tensor.py``   — the Tensor constructor itself;
+#: - ``repro/nn/optim.py``    — optimizer parameter updates (applied
+#:   between steps, never inside a recorded graph);
+#: - ``repro/model/gnn.py``   — the fused levelised sweep (in-place
+#:   level buffers with a hand-written backward, gradcheck-audited);
+#: - ``repro/train/fused.py`` — the fused cross-design batch (same
+#:   audit).
+#:
+#: Any other site needs an inline waiver with a justification.
+TENSOR_DATA_WHITELIST: Tuple[str, ...] = (
+    "repro/nn/tensor.py",
+    "repro/nn/optim.py",
+    "repro/model/gnn.py",
+    "repro/train/fused.py",
+)
+
+#: Legacy numpy global-state samplers (the pre-Generator API).  Calling
+#: any of these either mutates hidden global state or draws from it.
+_LEGACY_SAMPLERS = frozenset({
+    "seed", "rand", "randn", "randint", "random_integers", "random",
+    "random_sample", "ranf", "sample", "choice", "shuffle", "permutation",
+    "uniform", "normal", "standard_normal", "exponential", "poisson",
+    "binomial", "beta", "gamma", "RandomState", "get_state", "set_state",
+})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                            "OrderedDict", "Counter", "deque", "bytearray"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint/audit finding, pointing at a file line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: str          # display path (repo-relative where possible)
+    module_path: str   # forward-slash path used for whitelist matching
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def finding(self, rule_name: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule_name, self.path, getattr(node, "lineno", 1),
+                       message)
+
+
+@dataclass
+class Rule:
+    """A registered lint rule."""
+
+    name: str
+    description: str
+    check: Callable[[FileContext], Iterable[Finding]] = field(repr=False)
+
+
+#: Registry of all lint rules, in registration order.
+RULES: Dict[str, Rule] = {}
+
+#: Finding ids emitted by the driver itself (waiver bookkeeping,
+#: unparseable files).  They are not waivable and carry no check
+#: function, but ``--list-rules`` and waiver validation know them.
+META_RULES: Dict[str, str] = {
+    "syntax-error": "file could not be parsed",
+    "waiver-missing-justification":
+        "a repro-check waiver must explain itself after the rule name",
+    "unused-waiver": "a waiver that suppresses nothing must be removed",
+    "unknown-waiver-rule": "a waiver names a rule that does not exist",
+}
+
+
+def rule(name: str, description: str):
+    """Decorator registering a rule function under ``name``."""
+
+    def decorate(fn: Callable[[FileContext], Iterable[Finding]]) -> Rule:
+        if name in RULES or name in META_RULES:
+            raise ValueError(f"duplicate rule name: {name}")
+        entry = Rule(name, description, fn)
+        RULES[name] = entry
+        return entry
+
+    return decorate
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain, '' when it is not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+@rule("builtin-hash",
+      "builtin hash() is randomised per process (PYTHONHASHSEED); use a "
+      "stable digest (zlib.crc32 / hashlib) for seeds and cache keys")
+def _builtin_hash(ctx: FileContext) -> Iterator[Finding]:
+    for call in _calls(ctx.tree):
+        if isinstance(call.func, ast.Name) and call.func.id == "hash":
+            yield ctx.finding(
+                "builtin-hash", call,
+                "builtin hash() is process-randomised; derive seeds and "
+                "cache keys from a stable digest instead",
+            )
+
+
+@rule("unseeded-rng",
+      "no global-state numpy RNG (np.random.seed / legacy samplers) and "
+      "no default_rng() without an explicit seed argument")
+def _unseeded_rng(ctx: FileContext) -> Iterator[Finding]:
+    for call in _calls(ctx.tree):
+        name = _dotted(call.func)
+        if not name:
+            continue
+        head, _, leaf = name.rpartition(".")
+        if head in ("np.random", "numpy.random") and leaf in _LEGACY_SAMPLERS:
+            yield ctx.finding(
+                "unseeded-rng", call,
+                f"{name}() uses numpy's hidden global RNG state; pass an "
+                "explicitly seeded np.random.Generator instead",
+            )
+        elif leaf == "default_rng" and head in ("", "np.random",
+                                                "numpy.random"):
+            seeded = bool(call.args) or any(
+                kw.arg == "seed" for kw in call.keywords)
+            if not seeded:
+                yield ctx.finding(
+                    "unseeded-rng", call,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "unreproducible; make the seed an explicit argument",
+                )
+
+
+@rule("bare-except",
+      "no bare `except:` and no blanket `except Exception/BaseException`; "
+      "name the exceptions the code can actually handle")
+def _bare_except(ctx: FileContext) -> Iterator[Finding]:
+    def broad(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in ("Exception",
+                                                          "BaseException")
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield ctx.finding("bare-except", node,
+                              "bare `except:` swallows every error, "
+                              "including the silent-corruption ones this "
+                              "repo worries about; catch specific types")
+        elif broad(node.type) or (
+                isinstance(node.type, ast.Tuple)
+                and any(broad(e) for e in node.type.elts)):
+            yield ctx.finding("bare-except", node,
+                              "blanket `except Exception` hides numerics "
+                              "bugs; catch the specific exceptions this "
+                              "block can recover from")
+
+
+@rule("mutable-default",
+      "no mutable default arguments (list/dict/set literals or "
+      "constructors); they are shared across calls")
+def _mutable_default(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            bad = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if bad:
+                label = getattr(node, "name", "<lambda>")
+                yield ctx.finding(
+                    "mutable-default", default,
+                    f"mutable default argument in `{label}` is shared "
+                    "across calls; default to None and build inside",
+                )
+
+
+@rule("tensor-data-mutation",
+      "no in-place mutation of `<x>.data` outside the audited whitelist; "
+      "autograd records values at op creation, so later mutation silently "
+      "corrupts gradients")
+def _tensor_data_mutation(ctx: FileContext) -> Iterator[Finding]:
+    if any(ctx.module_path.endswith(allowed)
+           for allowed in TENSOR_DATA_WHITELIST):
+        return
+
+    def is_data_target(target: ast.AST) -> bool:
+        if isinstance(target, ast.Attribute) and target.attr == "data":
+            return True
+        if isinstance(target, ast.Subscript):
+            return is_data_target(target.value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(is_data_target(e) for e in target.elts)
+        return False
+
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if is_data_target(target):
+                yield ctx.finding(
+                    "tensor-data-mutation", node,
+                    "in-place write to a `.data` buffer outside the "
+                    "audited kernels; route the update through autograd "
+                    "ops or waive with a justification",
+                )

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli libs                   # library summaries
     python -m repro.cli train [--steps N]      # train ours, report test R^2
     python -m repro.cli experiments [NAMES]    # regenerate tables/figures
+    python -m repro.cli check [PATHS]          # static lint + autograd audit
 """
 
 from __future__ import annotations
@@ -155,6 +156,15 @@ def cmd_train(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check.cli import run_check
+
+    return run_check(paths=args.paths, fmt=args.format,
+                     do_lint=not args.no_lint,
+                     do_gradcheck=not args.no_gradcheck,
+                     list_rules=args.list_rules)
+
+
 def cmd_experiments(args) -> int:
     from .experiments.runner import run_all
 
@@ -210,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print per-phase timing totals after training")
 
+    p = sub.add_parser("check",
+                       help="repo-specific static lint + autograd audit")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint "
+                        "(default: the repro package source)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the static linter")
+    p.add_argument("--no-gradcheck", action="store_true",
+                   help="skip the autograd contract audit")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print every lint rule with its description")
+
     p = sub.add_parser("experiments",
                        help="regenerate the paper's tables/figures")
     p.add_argument("names", nargs="*")
@@ -223,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 COMMANDS = {
+    "check": cmd_check,
     "libs": cmd_libs,
     "report": cmd_report,
     "flow": cmd_flow,

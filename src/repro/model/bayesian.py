@@ -41,13 +41,17 @@ class BayesianReadout(Module):
         Monte-Carlo samples K used for the likelihood term.
     rng:
         Generator for weight init and reparameterisation noise.
+    seed:
+        Seed for the fallback Generator used when ``rng`` is not given;
+        construction is deterministic either way.
     """
 
     def __init__(self, feature_size: int, hidden: int = 32,
                  mc_samples: int = 4, correction_scale: float = 0.2,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(seed)
         self.feature_size = feature_size
         self.mc_samples = mc_samples
         self.correction_scale = correction_scale
@@ -66,9 +70,11 @@ class BayesianReadout(Module):
         self.bias = Tensor(np.zeros(1), requires_grad=True)
         for layer_param in self.mu_net.net.modules[-1].__dict__.values():
             if isinstance(layer_param, Tensor):
+                # repro-check: disable=tensor-data-mutation -- init-time rescale, no graph recorded yet
                 layer_param.data *= 0.1
         # Start with a tight weight distribution (log sigma^2 ~ -4) so
         # early training is not drowned in reparameterisation noise.
+        # repro-check: disable=tensor-data-mutation -- init-time bias preset, no graph recorded yet
         self.logvar_net.net.modules[-1].bias.data[...] = -4.0
 
     # ------------------------------------------------------------------

@@ -29,12 +29,16 @@ class Disentangler(Module):
         Hidden width of the two MLPs (defaults to ``m``).
     rng:
         Generator for weight init.
+    seed:
+        Seed for the fallback Generator used when ``rng`` is not given;
+        construction is deterministic either way.
     """
 
     def __init__(self, feature_size: int, hidden: Optional[int] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(seed)
         if feature_size % 2:
             raise ValueError("feature size must be even")
         hidden = hidden or feature_size

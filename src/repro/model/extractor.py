@@ -32,6 +32,9 @@ class PathFeatureExtractor(Module):
         CNN stack width and projected output width.
     rng:
         Generator for weight init.
+    seed:
+        Seed for the fallback Generator used when ``rng`` is not given;
+        construction is deterministic either way.
 
     Notes
     -----
@@ -42,9 +45,10 @@ class PathFeatureExtractor(Module):
     def __init__(self, in_features: int, gnn_hidden: int = 32,
                  gnn_out: int = 24, cnn_channels: int = 6,
                  cnn_out: int = 8,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(seed)
         if (gnn_out + cnn_out) % 2:
             raise ValueError("feature size m must be even for Equation (2)")
         self.gnn = TimingGNN(in_features, gnn_hidden, gnn_out, rng)

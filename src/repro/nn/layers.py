@@ -103,6 +103,7 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{params[name].data.shape} vs {value.shape}"
                 )
+            # repro-check: disable=tensor-data-mutation -- checkpoint load writes leaf parameters between steps
             params[name].data[...] = value
 
 

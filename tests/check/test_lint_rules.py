@@ -1,0 +1,257 @@
+"""Rule-by-rule tests for the repo-specific linter and its waivers."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.check import RULES, run_lint
+from repro.check.cli import main, run_check
+from repro.check.lint import lint_file
+
+
+def lint_source(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path)
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+class TestRules:
+    def test_registry_is_populated(self):
+        assert {"builtin-hash", "unseeded-rng", "bare-except",
+                "mutable-default", "tensor-data-mutation"} <= set(RULES)
+
+    def test_builtin_hash(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def design_seed(name):
+                return hash(name) % 10_000
+        """)
+        assert rules_fired(findings) == {"builtin-hash"}
+        assert findings[0].line == 2
+
+    def test_object_hash_method_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import zlib
+
+            def design_seed(name):
+                return zlib.crc32(name.encode()) % 10_000
+        """)
+        assert findings == []
+
+    def test_global_state_rng(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+
+            def sample():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """)
+        assert [f.line for f in findings
+                if f.rule == "unseeded-rng"] == [4, 5]
+
+    def test_unseeded_default_rng(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+            from numpy.random import default_rng
+
+            a = np.random.default_rng()
+            b = default_rng()
+            c = np.random.default_rng(0)
+            d = default_rng(seed=3)
+        """)
+        assert [f.line for f in findings] == [4, 5]
+        assert rules_fired(findings) == {"unseeded-rng"}
+
+    def test_generator_annotations_not_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import numpy as np
+
+            def init(rng: np.random.Generator) -> None:
+                rng.standard_normal(3)
+        """)
+        assert findings == []
+
+    def test_bare_and_broad_except(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def load(path):
+                try:
+                    return open(path)
+                except:
+                    return None
+
+            def load2(path):
+                try:
+                    return open(path)
+                except Exception:
+                    return None
+
+            def load3(path):
+                try:
+                    return open(path)
+                except (OSError, ValueError):
+                    return None
+        """)
+        assert [f.line for f in findings] == [4, 10]
+        assert rules_fired(findings) == {"bare-except"}
+
+    def test_mutable_default(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def a(x, acc=[]):
+                acc.append(x)
+
+            def b(x, table={}):
+                pass
+
+            def c(x, *, seen=set()):
+                pass
+
+            def d(x, names=None, count=0, word="ok"):
+                pass
+        """)
+        assert [f.line for f in findings] == [1, 4, 7]
+        assert rules_fired(findings) == {"mutable-default"}
+
+    def test_tensor_data_mutation(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def scale(param):
+                param.data *= 0.1
+                param.data[...] = 0.0
+                param.data = None
+                value = param.data + 1.0
+        """)
+        assert [f.line for f in findings] == [2, 3, 4]
+        assert rules_fired(findings) == {"tensor-data-mutation"}
+
+    def test_tensor_data_whitelisted_modules(self, tmp_path):
+        nested = tmp_path / "repro" / "nn"
+        nested.mkdir(parents=True)
+        path = nested / "optim.py"
+        path.write_text("def step(p, g, lr):\n    p.data -= lr * g\n")
+        assert lint_file(path) == []
+
+    def test_syntax_error_is_reported(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert rules_fired(findings) == {"syntax-error"}
+
+
+class TestWaivers:
+    def test_justified_waiver_suppresses(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def scale(param):
+                param.data *= 0.1  # repro-check: disable=tensor-data-mutation -- init-time, outside any graph
+        """)
+        assert findings == []
+
+    def test_waiver_on_preceding_comment_line(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def scale(param):
+                # repro-check: disable=tensor-data-mutation -- init-time, outside any graph
+                param.data *= 0.1
+        """)
+        assert findings == []
+
+    def test_unjustified_waiver_does_not_suppress(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def scale(param):
+                param.data *= 0.1  # repro-check: disable=tensor-data-mutation
+        """)
+        assert rules_fired(findings) == {"tensor-data-mutation",
+                                         "waiver-missing-justification"}
+
+    def test_unused_waiver_reported(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def fine():
+                return 1  # repro-check: disable=builtin-hash -- historical, nothing here anymore
+        """)
+        assert rules_fired(findings) == {"unused-waiver"}
+
+    def test_unknown_rule_in_waiver(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            x = 1  # repro-check: disable=no-such-rule -- testing the validator
+        """)
+        assert "unknown-waiver-rule" in rules_fired(findings)
+
+    def test_waiver_only_covers_named_rule(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def seedy(name):
+                return hash(name)  # repro-check: disable=bare-except -- wrong rule on purpose
+        """)
+        fired = rules_fired(findings)
+        assert "builtin-hash" in fired
+        assert "unused-waiver" in fired
+
+    def test_waiver_string_literal_is_ignored(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            PATTERN = "# repro-check: disable=builtin-hash -- not a comment"
+        """)
+        assert findings == []
+
+    def test_trailing_comment_does_not_waive_next_line(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def two(param):
+                x = 1  # repro-check: disable=tensor-data-mutation -- belongs to this line only
+                param.data *= x
+        """)
+        assert "tensor-data-mutation" in rules_fired(findings)
+
+    def test_one_waiver_multiple_rules(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f(param, name):
+                param.data = hash(name)  # repro-check: disable=tensor-data-mutation,builtin-hash -- exercising multi-rule waivers
+        """)
+        assert findings == []
+
+
+class TestCli:
+    def test_exit_nonzero_on_seeded_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("key = hash('design@7nm')\n")
+        status = main([str(bad), "--no-gradcheck"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "builtin-hash" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("VALUE = 42\n")
+        assert main([str(good), "--no-gradcheck"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_output_shape(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(1)\n")
+        chunks = []
+        status = run_check(paths=[bad], fmt="json", do_gradcheck=False,
+                           emit=chunks.append)
+        payload = json.loads("\n".join(chunks))
+        assert status == 1
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["by_rule"] == {"unseeded-rng": 1}
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "unseeded-rng"
+        assert finding["line"] == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULES:
+            assert name in out
+
+    def test_run_lint_walks_directories(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = hash('a')\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        findings = run_lint([pkg])
+        assert [f.rule for f in findings] == ["builtin-hash"]
+
+    @pytest.mark.parametrize("argv", [["check", "--list-rules"]])
+    def test_top_level_cli_has_check(self, argv, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(argv) == 0
+        assert "builtin-hash" in capsys.readouterr().out
