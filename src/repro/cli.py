@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli report DESIGN NODE     # design/timing/power report
     python -m repro.cli libs                   # library summaries
     python -m repro.cli train [--steps N]      # train ours, report test R^2
+    python -m repro.cli report-run RUNDIR      # render a run's telemetry
     python -m repro.cli experiments [NAMES]    # regenerate tables/figures
     python -m repro.cli check [PATHS]          # static lint + autograd audit
 """
@@ -125,34 +126,73 @@ def cmd_report(args) -> int:
 
 def cmd_train(args) -> int:
     from .experiments import build_dataset
+    from .experiments.datasets import DATASET_SCALE
     from .model import TimingPredictor
+    from .obs import RunLogger, default_run_dir
     from .train import OursTrainer, TrainConfig, r2_score
-    from .util import reset_timings, timing_report
+    from .util import get_timings, reset_timings, timing_report
 
-    dataset = build_dataset(workers=args.workers,
-                            use_cache=not args.no_cache,
-                            cache_dir=args.cache_dir)
-    model = TimingPredictor(dataset.in_features, seed=args.seed)
+    # The timing registry feeds the run summary, so scope it to this
+    # run: dataset-build phases (including worker-process phases merged
+    # back by build_designs) and training phases both land in it.
+    reset_timings()
+    run_dir = Path(args.run_dir) if args.run_dir \
+        else default_run_dir(tag=args.tag)
     config = TrainConfig(steps=args.steps, seed=args.seed,
                          fused=not args.no_fused)
-    print(f"training ours for {args.steps} steps ...")
-    if args.profile:
-        reset_timings()
-    trainer = OursTrainer(model, dataset.train, config)
-    history = trainer.fit()
-    step_seconds = np.array([h["step_seconds"] for h in history])
-    print(f"  {len(history)} steps, "
-          f"{step_seconds.mean():.3f} s/step "
-          f"({step_seconds.sum():.1f} s total)")
-    scores = []
-    for design in dataset.test:
-        r2 = r2_score(design.labels, model.predict(design))
-        scores.append(r2)
-        print(f"  {design.name:>10}: R^2 = {r2:.3f}")
-    print(f"  {'average':>10}: R^2 = {np.mean(scores):.3f}")
+    with RunLogger(run_dir) as logger:
+        dataset = build_dataset(workers=args.workers,
+                                use_cache=not args.no_cache,
+                                cache_dir=args.cache_dir)
+        logger.log_manifest(
+            config=config,
+            seeds={"model": args.seed, "train": config.seed,
+                   "data": DATASET_SCALE["seed"]},
+            extra={"dataset": {"scale": DATASET_SCALE["scale"],
+                               "resolution": DATASET_SCALE["resolution"],
+                               "workers": args.workers,
+                               "use_cache": not args.no_cache}},
+        )
+        model = TimingPredictor(dataset.in_features, seed=args.seed)
+        print(f"training ours for {args.steps} steps ...")
+        trainer = OursTrainer(model, dataset.train, config, logger=logger)
+        history = trainer.fit()
+        step_seconds = np.array([h["step_seconds"] for h in history])
+        print(f"  {len(history)} steps, "
+              f"{step_seconds.mean():.3f} s/step "
+              f"({step_seconds.sum():.1f} s total)")
+        per_design = {}
+        scores = []
+        for design in dataset.test:
+            r2 = r2_score(design.labels, model.predict(design))
+            scores.append(r2)
+            per_design[design.name] = {"r2": float(r2)}
+            print(f"  {design.name:>10}: R^2 = {r2:.3f}")
+        print(f"  {'average':>10}: R^2 = {np.mean(scores):.3f}")
+        logger.log_summary(
+            steps=len(history),
+            total_seconds=float(step_seconds.sum()),
+            mean_r2=float(np.mean(scores)),
+            per_design=per_design,
+            final_weights=trainer.final_weights_source,
+            timings=get_timings(),
+        )
+    print(f"run telemetry written to {run_dir} "
+          f"(render with `repro report-run {run_dir}`)")
     if args.profile:
         print("\nphase timings:")
         print(timing_report())
+    return 0
+
+
+def cmd_report_run(args) -> int:
+    from .obs import render_run
+
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"not a run directory: {run_dir}")
+        return 1
+    print(render_run(run_dir, diff_against=args.diff))
     return 0
 
 
@@ -219,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the legacy per-design training loop")
     p.add_argument("--profile", action="store_true",
                    help="print per-phase timing totals after training")
+    p.add_argument("--run-dir", default=None,
+                   help="telemetry directory for this run "
+                        "(default runs/<timestamp>-<tag>/)")
+    p.add_argument("--tag", default="train",
+                   help="suffix for the default run directory name")
+
+    p = sub.add_parser("report-run",
+                       help="render a training run's telemetry")
+    p.add_argument("run_dir", help="run directory written by `train`")
+    p.add_argument("--diff", default=None, metavar="OTHER_RUN",
+                   help="also diff the manifest against another run dir")
 
     p = sub.add_parser("check",
                        help="repo-specific static lint + autograd audit")
@@ -249,6 +300,7 @@ COMMANDS = {
     "check": cmd_check,
     "libs": cmd_libs,
     "report": cmd_report,
+    "report-run": cmd_report_run,
     "flow": cmd_flow,
     "sta": cmd_sta,
     "export": cmd_export,

@@ -1,6 +1,12 @@
 """End-to-end data-generation flow, caching, and dataset containers."""
 
-from .cache import CODE_SALT, FlowCache, build_designs, default_cache_dir
+from .cache import (
+    CODE_SALT,
+    FlowBuildError,
+    FlowCache,
+    build_designs,
+    default_cache_dir,
+)
 from .dataset import (
     DesignData,
     dataset_statistics,
@@ -12,6 +18,7 @@ from .pnr import PnRFlow, run_flow
 __all__ = [
     "CODE_SALT",
     "DesignData",
+    "FlowBuildError",
     "FlowCache",
     "PnRFlow",
     "build_designs",

@@ -24,9 +24,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..features import GateVocabulary
 from ..techlib import TechLibrary, make_asap7_library, make_sky130_library
+from ..util import get_timings, merge_timings, reset_timings
 from .dataset import DesignData, load_design_data, save_design_data
 
-__all__ = ["CODE_SALT", "FlowCache", "build_designs", "default_cache_dir"]
+__all__ = ["CODE_SALT", "FlowBuildError", "FlowCache", "build_designs",
+           "default_cache_dir"]
 
 #: Bump when flow semantics change (new features, new seeding, ...) so
 #: previously cached designs are rebuilt rather than reused.
@@ -59,9 +61,15 @@ class FlowCache:
     # ------------------------------------------------------------------
     def key(self, name: str, node: str, scale: float, resolution: int,
             seed: int) -> str:
-        """Filename-safe cache key; any parameter change changes it."""
-        return (f"{name}@{node}_s{scale}_r{resolution}"
-                f"_seed{seed}_{CODE_SALT}")
+        """Filename-safe cache key; any parameter change changes it.
+
+        Numeric parameters are canonicalised (``1`` and ``1.0`` produce
+        the same key, as do numpy scalars), so numerically equal
+        parameters can never miss an existing entry just because of
+        their Python type's ``repr``.
+        """
+        return (f"{name}@{node}_s{format(float(scale), '.6g')}"
+                f"_r{int(resolution)}_seed{int(seed)}_{CODE_SALT}")
 
     def path(self, name: str, node: str, scale: float, resolution: int,
              seed: int) -> Path:
@@ -98,23 +106,74 @@ class FlowCache:
 # ----------------------------------------------------------------------
 # Parallel cold builds
 # ----------------------------------------------------------------------
+class FlowBuildError(RuntimeError):
+    """One or more designs failed to build, even after the serial retry.
+
+    ``failures`` is a list of ``(name, node, exception)`` triples, one
+    per design that could not be built, so callers (and tracebacks) see
+    exactly which designs broke instead of an anonymous pool error.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(f"{name}@{node}: {exc!r}"
+                           for name, node, exc in self.failures)
+        super().__init__(
+            f"flow build failed for {len(self.failures)} design(s): "
+            f"{detail}"
+        )
+
+
 def _default_libraries() -> Dict[str, TechLibrary]:
     return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
 
 
-def _flow_worker(task: Tuple[str, str, float, int, int]) -> DesignData:
+def _flow_worker(task: Tuple[str, str, float, int, int]
+                 ) -> Tuple[DesignData, Dict[str, Dict[str, float]]]:
     """Run one design through the flow (executes in a worker process).
 
     Builds its own libraries/vocabulary: both are deterministic, so
     every worker featurises against the same vocabulary as the parent.
+    Returns the design together with this task's timing registry —
+    pool processes are reused across tasks, so the registry is reset on
+    entry to scope the snapshot to exactly this build.
     """
+    reset_timings()
     name, node, scale, resolution, seed = task
     from .pnr import PnRFlow
 
     libraries = _default_libraries()
     flow = PnRFlow(libraries, vocab=GateVocabulary(list(libraries.values())),
                    resolution=resolution, scale=scale, seed=seed)
-    return flow.run(name, node)
+    return flow.run(name, node), get_timings()
+
+
+def _run_parallel(tasks: Dict[int, Tuple[str, str, float, int, int]],
+                  workers: int
+                  ) -> Tuple[Dict[int, Tuple[DesignData,
+                                             Dict[str, Dict[str, float]]]],
+                             Dict[int, BaseException]]:
+    """Fan tasks out over a process pool, capturing failures per task.
+
+    Returns ``(done, failed)`` keyed by the caller's task index.  A
+    failure in one task never aborts the others; even a broken pool
+    (worker killed mid-build) surfaces as per-task exceptions the
+    caller can retry serially.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    done: Dict[int, Tuple[DesignData, Dict[str, Dict[str, float]]]] = {}
+    failed: Dict[int, BaseException] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {i: pool.submit(_flow_worker, task)
+                   for i, task in tasks.items()}
+        for i, future in futures.items():
+            exc = future.exception()
+            if exc is not None:
+                failed[i] = exc
+            else:
+                done[i] = future.result()
+    return done, failed
 
 
 def build_designs(names: Sequence[Tuple[str, str]],
@@ -153,22 +212,39 @@ def build_designs(names: Sequence[Tuple[str, str]],
             misses.append(i)
 
     if misses and workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        tasks = {i: (names[i][0], names[i][1], scale, resolution, seed)
+                 for i in misses}
+        done, failed = _run_parallel(tasks, workers)
+        for i, (design, worker_timings) in done.items():
+            results[i] = design
+            # Fold the worker's per-phase accumulators into this
+            # process's registry: subprocess flow time would otherwise
+            # vanish from every timing report.
+            merge_timings(worker_timings)
+        # Anything that failed in the pool gets one serial retry below,
+        # which either recovers it (pool-specific failure) or pins the
+        # error on a named design.
+        misses_serial = sorted(failed)
+    else:
+        misses_serial = misses
 
-        tasks = [(names[i][0], names[i][1], scale, resolution, seed)
-                 for i in misses]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for i, design in zip(misses, pool.map(_flow_worker, tasks)):
-                results[i] = design
-    elif misses:
+    if misses_serial:
         from .pnr import PnRFlow
 
         libraries = libraries or _default_libraries()
         flow = PnRFlow(libraries,
                        vocab=vocab or GateVocabulary(list(libraries.values())),
                        resolution=resolution, scale=scale, seed=seed)
-        for i in misses:
-            results[i] = flow.run(*names[i])
+        errors: List[Tuple[str, str, BaseException]] = []
+        for i in misses_serial:
+            name, node = names[i]
+            try:
+                results[i] = flow.run(name, node)
+            # repro-check: disable=bare-except -- collects per-design causes to re-raise as one FlowBuildError naming every failed (name, node)
+            except Exception as exc:
+                errors.append((name, node, exc))
+        if errors:
+            raise FlowBuildError(errors)
 
     if use_cache:
         for i in misses:

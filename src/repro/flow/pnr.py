@@ -30,6 +30,7 @@ from ..place import place_design
 from ..route import PreRouteEstimator, route_design
 from ..sta import derive_constraints, run_sta
 from ..techlib import TechLibrary
+from ..util import timed
 from .dataset import DesignData
 
 
@@ -60,6 +61,7 @@ class PnRFlow:
         self.scale = scale
         self.seed = seed
 
+    @timed("flow.run")
     def run(self, design_name: str, node: str) -> DesignData:
         """Run one design at one node through the flow."""
         library = self.libraries[node]
@@ -70,32 +72,39 @@ class PnRFlow:
         design_seed = self.seed + (digest % 10_000)
 
         t_start = time.perf_counter()
-        graph_logic = make_design(design_name, scale=self.scale)
-        netlist = map_design(graph_logic, library)
-        floorplan = place_design(netlist, seed=design_seed,
-                                 n_macros=2 if len(netlist.cells) > 60 else 0)
-        clock = derive_constraints(netlist)
+        with timed("flow.synthesize"):
+            graph_logic = make_design(design_name, scale=self.scale)
+            netlist = map_design(graph_logic, library)
+        with timed("flow.place"):
+            floorplan = place_design(
+                netlist, seed=design_seed,
+                n_macros=2 if len(netlist.cells) > 60 else 0)
+            clock = derive_constraints(netlist)
 
         # ---- Pre-route snapshot: everything the model may look at. ----
-        pre_report = run_sta(netlist, PreRouteEstimator(netlist), clock)
-        graph = encode_netlist(netlist, self.vocab)
-        images = layout_images(netlist, floorplan, self.resolution)
-        masks = np.stack([
-            cone_mask(netlist,
-                      fanin_cone(netlist, pin),
-                      floorplan, self.resolution)
-            for pin in netlist.timing_endpoints()
-        ]) if netlist.timing_endpoints() else np.zeros(
-            (0, self.resolution, self.resolution))
-        pre_route_at = np.array([
-            pre_report.endpoint_arrivals.get(name, 0.0)
-            for name in graph.endpoint_names
-        ])
+        with timed("flow.snapshot"):
+            pre_report = run_sta(netlist, PreRouteEstimator(netlist), clock)
+            graph = encode_netlist(netlist, self.vocab)
+            images = layout_images(netlist, floorplan, self.resolution)
+            masks = np.stack([
+                cone_mask(netlist,
+                          fanin_cone(netlist, pin),
+                          floorplan, self.resolution)
+                for pin in netlist.timing_endpoints()
+            ]) if netlist.timing_endpoints() else np.zeros(
+                (0, self.resolution, self.resolution))
+            pre_route_at = np.array([
+                pre_report.endpoint_arrivals.get(name, 0.0)
+                for name in graph.endpoint_names
+            ])
 
         # ---- Optimization + routing + signoff: the label generator. ----
-        opt_result = optimize_design(netlist, floorplan)
-        routed = route_design(netlist, floorplan, seed=design_seed)
-        signoff = run_sta(netlist, routed, clock)
+        with timed("flow.optimize"):
+            opt_result = optimize_design(netlist, floorplan)
+        with timed("flow.route"):
+            routed = route_design(netlist, floorplan, seed=design_seed)
+        with timed("flow.signoff"):
+            signoff = run_sta(netlist, routed, clock)
 
         labels = np.array([
             signoff.endpoint_arrivals[name]

@@ -1,0 +1,34 @@
+"""Run telemetry & observability (manifest / step stream / summary).
+
+See DESIGN.md §8: every training run persists a provenance manifest,
+a JSONL stream of per-step and validation records, and a final summary
+with per-design metrics plus the merged phase-timing registry.
+``repro.cli report-run`` renders a run directory; ``python -m
+repro.obs RUNDIR`` validates one against the schema (used by CI).
+"""
+
+from .logger import NullRunLogger, RunLogger, build_manifest, default_run_dir
+from .report import load_run, manifest_diff, render_loss_curve, render_run
+from .schema import (
+    RECORD_SCHEMAS,
+    validate_manifest,
+    validate_record,
+    validate_run_dir,
+    validate_summary,
+)
+
+__all__ = [
+    "NullRunLogger",
+    "RECORD_SCHEMAS",
+    "RunLogger",
+    "build_manifest",
+    "default_run_dir",
+    "load_run",
+    "manifest_diff",
+    "render_loss_curve",
+    "render_run",
+    "validate_manifest",
+    "validate_record",
+    "validate_run_dir",
+    "validate_summary",
+]

@@ -1,0 +1,36 @@
+"""``python -m repro.obs RUNDIR`` — validate run telemetry against the schema.
+
+Exits nonzero when any artifact is missing, unparseable, or violates
+the record schema; CI runs this over the smoke-train run directory so
+a silently broken telemetry writer fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .schema import validate_run_dir
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate a run directory's telemetry artifacts",
+    )
+    parser.add_argument("run_dir", help="run directory to validate")
+    args = parser.parse_args(argv)
+
+    errors = validate_run_dir(args.run_dir)
+    for error in errors:
+        print(f"{args.run_dir}: {error}")
+    if errors:
+        print(f"repro.obs: {len(errors)} schema problem(s)")
+        return 1
+    print(f"repro.obs: {args.run_dir} valid "
+          "(manifest.json, steps.jsonl, summary.json)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""Structured per-run telemetry: manifest, JSONL step stream, summary.
+
+A *run* is one training invocation.  Its directory layout::
+
+    runs/20260806-114233-train/
+        manifest.json   what was run (config, seeds, code versions)
+        steps.jsonl     streamed per-step / validation / event records
+        summary.json    final per-design metrics + merged phase timings
+
+``steps.jsonl`` is append-streamed and flushed per record, so a run
+killed mid-training still leaves every completed step on disk; the
+manifest is written before the first step for the same reason.  All
+records are validated against :mod:`repro.obs.schema` at write time —
+a malformed record raises in the writer's stack frame instead of
+surfacing as a corrupt artifact later.
+
+:class:`NullRunLogger` is the no-telemetry stand-in: trainers call the
+logger unconditionally and library users who never pass one pay two
+attribute lookups per step, no I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .schema import validate_manifest, validate_record, validate_summary
+
+__all__ = ["NullRunLogger", "RunLogger", "build_manifest",
+           "default_run_dir"]
+
+
+def default_run_dir(tag: str = "train",
+                    root: Union[str, Path] = "runs") -> Path:
+    """``<root>/<timestamp>-<tag>``, uniquified if it already exists."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    base = Path(root) / f"{stamp}-{tag}"
+    candidate = base
+    suffix = 2
+    while candidate.exists():
+        candidate = base.with_name(f"{base.name}-{suffix}")
+        suffix += 1
+    return candidate
+
+
+def _git_sha() -> Optional[str]:
+    """HEAD commit of the source checkout, or None outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _package_versions() -> Dict[str, Optional[str]]:
+    import platform
+
+    versions: Dict[str, Optional[str]] = {
+        "python": platform.python_version(),
+    }
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py<3.8 only
+        metadata = None
+    for package in ("numpy", "scipy", "networkx", "repro"):
+        version: Optional[str] = None
+        if metadata is not None:
+            try:
+                version = metadata.version(package)
+            except metadata.PackageNotFoundError:
+                version = None
+        if version is None and package == "numpy":
+            import numpy as np
+
+            version = np.__version__
+        versions[package] = version
+    return versions
+
+
+def build_manifest(config: Any = None,
+                   seeds: Optional[Mapping[str, int]] = None,
+                   extra: Optional[Mapping[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Assemble a run manifest (provenance record).
+
+    Parameters
+    ----------
+    config:
+        The training config (a dataclass such as ``TrainConfig``, or a
+        plain mapping); serialised in full so two runs can be diffed
+        field by field.
+    seeds:
+        Every seed that influenced the run.  When omitted and the
+        config has a ``seed`` attribute, that one is recorded.
+    extra:
+        Additional top-level sections (dataset parameters, CLI args).
+    """
+    # Lazy import: obs stays importable without pulling the flow stack.
+    from ..flow.cache import CODE_SALT
+
+    if is_dataclass(config) and not isinstance(config, type):
+        config_dict: Any = asdict(config)
+    elif isinstance(config, Mapping):
+        config_dict = dict(config)
+    else:
+        config_dict = config if config is None else vars(config)
+
+    if seeds is None:
+        seed = getattr(config, "seed", None) if config is not None else None
+        seeds = {"train": seed} if seed is not None else {}
+
+    manifest: Dict[str, Any] = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "argv": list(sys.argv),
+        "train_config": config_dict,
+        "seeds": dict(seeds),
+        "code": {
+            "code_salt": CODE_SALT,
+            "git_sha": _git_sha(),
+        },
+        "versions": _package_versions(),
+    }
+    if extra:
+        manifest.update({str(k): v for k, v in extra.items()})
+    return manifest
+
+
+class RunLogger:
+    """Writes one run's telemetry into ``run_dir`` (context manager).
+
+    Parameters
+    ----------
+    run_dir:
+        Directory for this run's artifacts; created (with parents) if
+        missing.  One logger per run — the step stream is truncated on
+        construction.
+    """
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._steps = open(self.run_dir / "steps.jsonl", "w",
+                           encoding="utf-8")
+
+    # -- artifacts ------------------------------------------------------
+    def log_manifest(self, config: Any = None,
+                     seeds: Optional[Mapping[str, int]] = None,
+                     extra: Optional[Mapping[str, Any]] = None
+                     ) -> Dict[str, Any]:
+        """Build + persist ``manifest.json``; returns the manifest."""
+        manifest = build_manifest(config=config, seeds=seeds, extra=extra)
+        problems = validate_manifest(manifest)
+        if problems:
+            raise ValueError(f"invalid manifest: {problems}")
+        self._write_json("manifest.json", manifest)
+        return manifest
+
+    def log_step(self, step: int, record: Mapping[str, Any]) -> None:
+        """Stream one per-step record (losses, lr, grad norms, ...)."""
+        self._emit({"kind": "step", "step": int(step), **record})
+
+    def log_validation(self, step: int, score: float, best: bool) -> None:
+        """Stream one held-out validation event."""
+        self._emit({"kind": "validation", "step": int(step),
+                    "score": float(score), "best": bool(best)})
+
+    def log_event(self, kind: str, **fields: Any) -> None:
+        """Stream a non-step record (``final_weights``, ``note``, ...)."""
+        self._emit({"kind": kind, **fields})
+
+    def log_summary(self, **fields: Any) -> Dict[str, Any]:
+        """Persist ``summary.json``; merges in the timing registry.
+
+        ``timings`` defaults to the process-global registry snapshot
+        (which, after a ``build_designs(workers=N)``, already contains
+        the merged worker timings); ``per_design`` defaults to empty.
+        """
+        summary = dict(fields)
+        if "timings" not in summary:
+            from ..util import get_timings
+
+            summary["timings"] = get_timings()
+        summary.setdefault("per_design", {})
+        problems = validate_summary(summary)
+        if problems:
+            raise ValueError(f"invalid summary: {problems}")
+        self._write_json("summary.json", summary)
+        return summary
+
+    # -- plumbing -------------------------------------------------------
+    def _emit(self, record: Dict[str, Any]) -> None:
+        problems = validate_record(record)
+        if problems:
+            raise ValueError(f"invalid telemetry record: {problems}")
+        self._steps.write(json.dumps(record, sort_keys=True) + "\n")
+        self._steps.flush()
+
+    def _write_json(self, name: str, payload: Mapping[str, Any]) -> None:
+        path = self.run_dir / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+
+    def close(self) -> None:
+        if not self._steps.closed:
+            self._steps.close()
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullRunLogger:
+    """API-compatible logger that records nothing (the default)."""
+
+    run_dir: Optional[Path] = None
+
+    def log_manifest(self, config: Any = None,
+                     seeds: Optional[Mapping[str, int]] = None,
+                     extra: Optional[Mapping[str, Any]] = None
+                     ) -> Dict[str, Any]:
+        return {}
+
+    def log_step(self, step: int, record: Mapping[str, Any]) -> None:
+        pass
+
+    def log_validation(self, step: int, score: float, best: bool) -> None:
+        pass
+
+    def log_event(self, kind: str, **fields: Any) -> None:
+        pass
+
+    def log_summary(self, **fields: Any) -> Dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullRunLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass

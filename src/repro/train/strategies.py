@@ -26,6 +26,7 @@ from ..flow import DesignData
 from ..model import DAC23Model
 from ..nn import Adam, Tensor
 from ..nn import functional as F
+from ..obs import NullRunLogger, RunLogger
 from .batching import sample_endpoints, sample_from_pool, split_by_node
 from .selection import CheckpointKeeper, HoldoutSelector
 from .trainer import TrainConfig
@@ -59,36 +60,58 @@ def _run_loop(model: DAC23Model, designs: Sequence[DesignData],
               steps: int, config: TrainConfig,
               head_of: Callable[[DesignData], int],
               rng: np.random.Generator,
-              selector: Optional[HoldoutSelector] = None) -> List[float]:
+              selector: Optional[HoldoutSelector] = None,
+              logger: Optional[RunLogger] = None,
+              stage: Optional[str] = None,
+              step_offset: int = 0) -> List[float]:
     """Plain MSE loop with optional held-out checkpoint selection.
 
     The same validation protocol the paper's model uses (see
     :mod:`repro.train.selection`) is offered to every baseline, keeping
-    the Table-2 comparison apples-to-apples.
+    the Table-2 comparison apples-to-apples.  ``logger`` streams the
+    same telemetry schema the paper's trainer emits (loss, lr, step
+    wall-time per step; validation events; the final-weights source),
+    with ``stage``/``step_offset`` distinguishing multi-phase recipes
+    such as PT-FT's pretrain/finetune loops.
     """
+    logger = logger if logger is not None else NullRunLogger()
     optimizer = Adam(model.parameters(), lr=config.lr)
     keeper = CheckpointKeeper(model) if selector \
         and selector.val_designs else None
     losses = []
     for t in range(steps):
+        t_start = time.perf_counter()
         losses.append(_mse_step(model, designs, optimizer,
                                 config.batch_endpoints, rng,
                                 config.grad_clip, head_of, selector))
+        record = {"loss": losses[-1], "lr": float(optimizer.lr),
+                  "step_seconds": time.perf_counter() - t_start}
+        if stage is not None:
+            record["stage"] = stage
+        logger.log_step(step_offset + t, record)
         if keeper is not None and (t % config.eval_every == 0
                                    or t == steps - 1):
             score = selector.validate(
                 lambda d, idx: model.predict(d, idx, head=head_of(d))
             )
-            keeper.offer(score)
-    if keeper is not None:
+            best = keeper.offer(score)
+            logger.log_validation(step_offset + t, score, best)
+    source = "final-iterate"
+    if keeper is not None and keeper.best_state is not None:
         keeper.restore()
+        source = "best-checkpoint"
+    if stage is not None:
+        logger.log_event("final_weights", source=source, stage=stage)
+    else:
+        logger.log_event("final_weights", source=source)
     return losses
 
 
 def train_adv_only(designs: Sequence[DesignData], in_features: int,
                    config: Optional[TrainConfig] = None,
                    model_seed: int = 0,
-                   use_selection: bool = False) -> DAC23Model:
+                   use_selection: bool = False,
+                   logger: Optional[RunLogger] = None) -> DAC23Model:
     """DAC23-AdvOnly: trained on the limited 7nm netlist data only.
 
     ``use_selection=True`` adds the same held-out checkpoint selection
@@ -103,14 +126,15 @@ def train_adv_only(designs: Sequence[DesignData], in_features: int,
     rng = np.random.default_rng(config.seed)
     selector = _selector_for(designs, config) if use_selection else None
     _run_loop(model, target, config.steps, config, lambda d: 0, rng,
-              selector)
+              selector, logger=logger)
     return model
 
 
 def train_simple_merge(designs: Sequence[DesignData], in_features: int,
                        config: Optional[TrainConfig] = None,
                        model_seed: int = 0,
-                       use_selection: bool = False) -> DAC23Model:
+                       use_selection: bool = False,
+                       logger: Optional[RunLogger] = None) -> DAC23Model:
     """DAC23-SimpleMerge: naive union of both nodes, single readout.
 
     The arrival-time scales of the two nodes differ by an order of
@@ -122,14 +146,15 @@ def train_simple_merge(designs: Sequence[DesignData], in_features: int,
     rng = np.random.default_rng(config.seed)
     selector = _selector_for(designs, config) if use_selection else None
     _run_loop(model, list(designs), config.steps, config, lambda d: 0,
-              rng, selector)
+              rng, selector, logger=logger)
     return model
 
 
 def train_param_share(designs: Sequence[DesignData], in_features: int,
                       config: Optional[TrainConfig] = None,
                       model_seed: int = 0,
-                      use_selection: bool = False) -> DAC23Model:
+                      use_selection: bool = False,
+                      logger: Optional[RunLogger] = None) -> DAC23Model:
     """DAC23-ParamShare: shared extractor, node-specific linear heads.
 
     Head 0 serves 130nm, head 1 serves 7nm; evaluation on 7nm test data
@@ -140,7 +165,8 @@ def train_param_share(designs: Sequence[DesignData], in_features: int,
     rng = np.random.default_rng(config.seed)
     selector = _selector_for(designs, config) if use_selection else None
     _run_loop(model, list(designs), config.steps, config,
-              lambda d: 0 if d.node == "130nm" else 1, rng, selector)
+              lambda d: 0 if d.node == "130nm" else 1, rng, selector,
+              logger=logger)
     return model
 
 
@@ -148,7 +174,8 @@ def train_pt_ft(designs: Sequence[DesignData], in_features: int,
                 config: Optional[TrainConfig] = None,
                 model_seed: int = 0,
                 finetune_fraction: float = 0.5,
-                use_selection: bool = False) -> DAC23Model:
+                use_selection: bool = False,
+                logger: Optional[RunLogger] = None) -> DAC23Model:
     """DAC23-PT-FT: pretrain on 130nm, then finetune on 7nm.
 
     The finetuning stage runs ``finetune_fraction`` of the pretraining
@@ -162,9 +189,11 @@ def train_pt_ft(designs: Sequence[DesignData], in_features: int,
     model = DAC23Model(in_features, seed=model_seed)
     rng = np.random.default_rng(config.seed)
     selector = _selector_for(designs, config) if use_selection else None
-    _run_loop(model, source, config.steps, config, lambda d: 0, rng)
+    _run_loop(model, source, config.steps, config, lambda d: 0, rng,
+              logger=logger, stage="pretrain")
     ft_steps = max(1, int(config.steps * finetune_fraction))
-    _run_loop(model, target, ft_steps, config, lambda d: 0, rng, selector)
+    _run_loop(model, target, ft_steps, config, lambda d: 0, rng, selector,
+              logger=logger, stage="finetune", step_offset=config.steps)
     return model
 
 

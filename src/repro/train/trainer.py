@@ -20,7 +20,8 @@ import numpy as np
 from ..flow import DesignData
 from ..model import TimingPredictor, cmd_loss, node_contrastive_loss
 from ..model.gnn import reference_sweep
-from ..nn import Adam, concatenate
+from ..nn import Adam, Tensor, concatenate
+from ..obs import NullRunLogger, RunLogger
 from ..util import timed
 from .batching import sample_endpoints, sample_from_pool, split_by_node
 from .fused import FusedDesignBatch, slice_ranges
@@ -48,6 +49,11 @@ class TrainConfig:
     grad_clip: float = 5.0
     warmup_fraction: float = 0.3
     lr_decay: float = 0.1
+    #: Fraction of the run at which stochastic weight averaging starts;
+    #: ``1.0`` (the default) disables SWA.  SWA and held-out checkpoint
+    #: selection both decide the final weights, so enabling SWA requires
+    #: ``holdout_fraction`` outside (0, 1) — the trainer rejects the
+    #: ambiguous combination (see :meth:`OursTrainer.fit`).
     swa_fraction: float = 1.0
     holdout_fraction: float = 0.25
     eval_every: int = 15
@@ -56,6 +62,13 @@ class TrainConfig:
     #: designs) vs. the legacy per-design loop.  Numerically equivalent;
     #: the loop is kept as the reference/benchmark baseline.
     fused: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.swa_fraction <= 1.0:
+            raise ValueError(
+                f"swa_fraction must be in (0, 1] (1.0 disables SWA), "
+                f"got {self.swa_fraction}"
+            )
 
 
 class OursTrainer:
@@ -70,13 +83,19 @@ class OursTrainer:
         design's ``node`` attribute.
     config:
         Loop hyper-parameters.
+    logger:
+        Optional :class:`~repro.obs.RunLogger`; every step, validation
+        event and the final-weights decision are streamed to it.  The
+        default records nothing.
     """
 
     def __init__(self, model: TimingPredictor,
                  designs: Sequence[DesignData],
-                 config: Optional[TrainConfig] = None) -> None:
+                 config: Optional[TrainConfig] = None,
+                 logger: Optional[RunLogger] = None) -> None:
         self.model = model
         self.config = config or TrainConfig()
+        self.logger = logger if logger is not None else NullRunLogger()
         self.source, self.target = split_by_node(designs)
         if not self.source or not self.target:
             raise ValueError(
@@ -86,12 +105,26 @@ class OursTrainer:
         self.rng = np.random.default_rng(self.config.seed)
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self.history: List[Dict[str, float]] = []
+        #: Which weights ``fit`` left in the model: ``"final-iterate"``,
+        #: ``"best-checkpoint"`` or ``"swa"`` (set at the end of fit).
+        self.final_weights_source: Optional[str] = None
         # Validation-based checkpoint selection on held-out 7nm paths.
         self.selector: Optional[HoldoutSelector] = None
         if 0.0 < self.config.holdout_fraction < 1.0:
             self.selector = HoldoutSelector(
                 designs, fraction=self.config.holdout_fraction,
                 seed=self.config.seed,
+            )
+        if self.selector is not None and self.config.swa_fraction < 1.0:
+            # Both mechanisms overwrite the final weights; restoring a
+            # checkpoint over the SWA average (the historical behaviour)
+            # silently discarded the average.  Make the choice explicit.
+            raise ValueError(
+                "swa_fraction < 1.0 and checkpoint selection are mutually "
+                "exclusive: SWA averages the tail iterates while the "
+                "selector restores the best validation checkpoint. "
+                "Set holdout_fraction=0.0 to train with SWA, or keep "
+                "swa_fraction=1.0 to use checkpoint selection."
             )
         # Per-node observation variance for the ELBO likelihood: the
         # variance of the node's training labels.  This conditions the
@@ -212,18 +245,33 @@ class OursTrainer:
         with timed("train.backward"):
             self.optimizer.zero_grad()
             total.backward()
-            self.optimizer.clip_grad_norm(cfg.grad_clip)
+            grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
             self.optimizer.step()
         return {
             "total": total.item(),
             "elbo": elbo_total.item(),
             "contrastive": clr.item(),
             "cmd": cmd.item(),
+            "lr": float(self.optimizer.lr),
+            "grad_norm": float(grad_norm),
+            "grad_norm_clipped": float(min(grad_norm, cfg.grad_clip)),
+            "warmup": bool(warmup),
             "step_seconds": time.perf_counter() - start,
         }
 
     def fit(self, steps: Optional[int] = None) -> List[Dict[str, float]]:
         """Run the full loop; returns per-step loss history.
+
+        The final weights come from exactly one source, recorded in
+        ``final_weights_source`` and logged as a ``final_weights``
+        telemetry event:
+
+        - ``"swa"`` — tail-averaged iterates, when ``swa_fraction < 1``
+          (checkpoint selection is rejected at construction in that
+          case, so the average can never be silently overwritten);
+        - ``"best-checkpoint"`` — the best held-out validation
+          snapshot, when selection is enabled and a snapshot was kept;
+        - ``"final-iterate"`` — otherwise.
 
         After the last step the node-level priors p(W | N) are finalised
         on the training designs, which is what inference uses (Eq. 7).
@@ -236,11 +284,14 @@ class OursTrainer:
         keeper = CheckpointKeeper(self.model) if self.selector else None
         swa_sum = None
         swa_count = 0
+        step_offset = len(self.history)
         for t in range(steps):
             # Linear learning-rate decay stabilises the final priors.
             decay = self.config.lr_decay
             self.optimizer.lr = base_lr * (1.0 - (1.0 - decay) * t / steps)
-            self.history.append(self.step(warmup=t < warmup_steps))
+            record = self.step(warmup=t < warmup_steps)
+            self.history.append(record)
+            self.logger.log_step(step_offset + t, record)
             if t >= swa_start:
                 # Stochastic weight averaging over the tail of training:
                 # the averaged iterate is far less sensitive to the noise
@@ -254,33 +305,42 @@ class OursTrainer:
             last = t == steps - 1
             if keeper is not None and t >= warmup_steps \
                     and (t % self.config.eval_every == 0 or last):
-                self._validate_and_keep(keeper)
+                self._validate_and_keep(keeper, step_offset + t)
         self.optimizer.lr = base_lr
         if swa_count > 1:
             for acc, p in zip(swa_sum, params):
                 # repro-check: disable=tensor-data-mutation -- SWA writes averaged leaf weights between steps
                 p.data[...] = acc / swa_count
-        if keeper is not None:
+            self.final_weights_source = "swa"
+        elif keeper is not None and keeper.best_state is not None:
             keeper.restore()
+            self.final_weights_source = "best-checkpoint"
+        else:
+            self.final_weights_source = "final-iterate"
+        self.logger.log_event("final_weights",
+                              source=self.final_weights_source)
         self.model.finalize_node_priors(self.source + self.target,
                                         seed=self.config.seed)
         return self.history
 
-    def _validate_and_keep(self, keeper: CheckpointKeeper) -> None:
+    def _validate_and_keep(self, keeper: CheckpointKeeper,
+                           step: int) -> None:
         """Score the current model on held-out 7nm paths; keep if best."""
         self.model.finalize_node_priors(self.source + self.target,
                                         seed=self.config.seed)
         score = self.selector.validate(
             lambda design, idx: self.model.predict(design, idx)
         )
-        keeper.offer(score)
+        best = keeper.offer(score)
+        self.logger.log_validation(step, score, best)
 
 
 def train_ours(designs: Sequence[DesignData], in_features: int,
                config: Optional[TrainConfig] = None,
                model_seed: int = 0,
                use_disentangle_align: bool = True,
-               use_bayesian: bool = True) -> TimingPredictor:
+               use_bayesian: bool = True,
+               logger: Optional[RunLogger] = None) -> TimingPredictor:
     """Build and train the paper's model.
 
     The two ``use_*`` flags implement the Figure 8 ablations: turning off
@@ -298,7 +358,7 @@ def train_ours(designs: Sequence[DesignData], in_features: int,
     model = TimingPredictor(in_features, seed=model_seed)
     if not use_bayesian:
         _freeze_variance(model)
-    OursTrainer(model, designs, config).fit()
+    OursTrainer(model, designs, config, logger=logger).fit()
     return model
 
 

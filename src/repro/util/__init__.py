@@ -2,16 +2,20 @@
 
 from .legacy import is_legacy, legacy_mode
 from .timing import (
+    format_timing_table,
     get_timings,
+    merge_timings,
     reset_timings,
     timed,
     timing_report,
 )
 
 __all__ = [
+    "format_timing_table",
     "get_timings",
     "is_legacy",
     "legacy_mode",
+    "merge_timings",
     "reset_timings",
     "timed",
     "timing_report",

@@ -8,8 +8,9 @@ corrupt entry must be discarded and rebuilt, never served.
 import numpy as np
 import pytest
 
-from repro.flow import FlowCache, build_designs, run_flow
+from repro.flow import FlowBuildError, FlowCache, build_designs, run_flow
 from repro.techlib import make_asap7_library, make_sky130_library
+from repro.util import get_timings, reset_timings
 
 NAMES = [("usbf_device", "7nm")]
 
@@ -64,6 +65,23 @@ class TestCacheKey:
         assert cache.key("jpeg", "7nm", 1.0, 32, 7) != base
         assert cache.key("spiMaster", "7nm", 1.0, 32, 0) != base
 
+    def test_key_canonicalizes_numerically_equal_params(self):
+        """Regression: ``repr`` typing leaked into the key (s1.0 vs s1),
+        so int-vs-float call sites missed each other's entries."""
+        cache = FlowCache("/tmp/unused")
+        base = cache.key("jpeg", "7nm", 1.0, 32, 0)
+        assert cache.key("jpeg", "7nm", 1, 32, 0) == base
+        assert cache.key("jpeg", "7nm", np.float64(1.0), 32, 0) == base
+        assert cache.key("jpeg", "7nm", 1.0, np.int64(32),
+                         np.int32(0)) == base
+        # Distinct values still produce distinct keys.
+        assert cache.key("jpeg", "7nm", 1.5, 32, 0) != base
+
+    def test_int_and_float_scale_share_cache_entries(self, tmp_path):
+        cache = FlowCache(tmp_path)
+        assert cache.path("jpeg", "7nm", 1, 16, 0) == \
+            cache.path("jpeg", "7nm", 1.0, 16, np.int64(0))
+
     def test_scale_and_seed_miss_the_cache(self, tmp_path):
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         cache = FlowCache(tmp_path)
@@ -109,3 +127,58 @@ class TestParallelBuild:
         for a, b in zip(serial, parallel):
             _assert_identical(a, b)
         _assert_identical(serial[0], fresh)
+
+    def test_worker_timings_merge_into_parent(self):
+        reset_timings()
+        build_designs([("usbf_device", "7nm"), ("spiMaster", "130nm")],
+                      resolution=16, workers=2, use_cache=False)
+        timings = get_timings()
+        # Flow phases ran only inside worker processes; seeing them in
+        # the parent registry proves the snapshots were merged back.
+        assert timings["flow.run"]["calls"] == 2
+        assert timings["flow.run"]["seconds"] > 0.0
+        for phase in ("flow.synthesize", "flow.place", "flow.route",
+                      "flow.signoff"):
+            assert timings[phase]["calls"] == 2
+        reset_timings()
+
+
+class TestBuildFailures:
+    def test_serial_failure_names_designs(self):
+        with pytest.raises(FlowBuildError) as excinfo:
+            build_designs([("usbf_device", "7nm"), ("no_such_design", "7nm"),
+                           ("also_missing", "130nm")],
+                          resolution=16, use_cache=False)
+        failures = excinfo.value.failures
+        assert [(n, node) for n, node, _ in failures] == \
+            [("no_such_design", "7nm"), ("also_missing", "130nm")]
+        assert all(isinstance(exc, KeyError) for _, _, exc in failures)
+        assert "no_such_design@7nm" in str(excinfo.value)
+        assert "also_missing@130nm" in str(excinfo.value)
+
+    def test_parallel_failure_names_designs(self):
+        with pytest.raises(FlowBuildError) as excinfo:
+            build_designs([("usbf_device", "7nm"),
+                           ("no_such_design", "7nm")],
+                          resolution=16, workers=2, use_cache=False)
+        assert [(n, node) for n, node, _ in excinfo.value.failures] == \
+            [("no_such_design", "7nm")]
+
+    def test_pool_failure_recovered_by_serial_retry(self, monkeypatch,
+                                                    fresh):
+        """A pool-level failure (e.g. a worker OOM-killed) must fall back
+        to a serial rebuild of exactly the failed designs."""
+        from repro.flow import cache as cache_mod
+
+        calls = {}
+
+        def broken_pool(tasks, workers):
+            calls["tasks"] = dict(tasks)
+            return {}, {i: RuntimeError("worker died")
+                        for i in tasks}
+
+        monkeypatch.setattr(cache_mod, "_run_parallel", broken_pool)
+        (built,) = build_designs(NAMES, resolution=16, workers=2,
+                                 use_cache=False)
+        assert calls["tasks"] == {0: ("usbf_device", "7nm", 1.0, 16, 0)}
+        _assert_identical(built, fresh)

@@ -50,6 +50,46 @@ class TestCommands:
         netlist.validate()
 
 
+class TestReportRunCommand:
+    @staticmethod
+    def _write_run(run_dir):
+        from repro.obs import RunLogger
+        from repro.train import TrainConfig
+
+        with RunLogger(run_dir) as logger:
+            logger.log_manifest(config=TrainConfig(steps=3),
+                                seeds={"train": 0})
+            for t in range(3):
+                logger.log_step(t, {"lr": 1e-3, "step_seconds": 0.01,
+                                    "total": 2.0 - 0.5 * t})
+            logger.log_event("final_weights", source="final-iterate")
+            logger.log_summary(
+                per_design={"usbf_device": {"r2": 0.9}},
+                timings={"flow.run": {"calls": 1, "seconds": 1.0}},
+                mean_r2=0.9)
+        return run_dir
+
+    def test_report_run(self, tmp_path, capsys):
+        run_dir = self._write_run(tmp_path / "run")
+        assert main(["report-run", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "total  [first" in out
+        assert "final weights: final-iterate" in out
+        assert "flow.run" in out
+
+    def test_report_run_with_diff(self, tmp_path, capsys):
+        run_a = self._write_run(tmp_path / "a")
+        run_b = self._write_run(tmp_path / "b")
+        assert main(["report-run", str(run_a),
+                     "--diff", str(run_b)]) == 0
+        out = capsys.readouterr().out
+        assert f"manifest diff vs {run_b}" in out
+
+    def test_missing_run_dir_fails(self, tmp_path, capsys):
+        assert main(["report-run", str(tmp_path / "absent")]) == 1
+        assert "not a run directory" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_report(self, capsys):
         assert main(["report", "usbf_device", "7nm"]) == 0

@@ -121,6 +121,64 @@ class TestOursTrainer:
         assert log_var.data.max() < -8.0
 
 
+class TestFinalWeights:
+    """Regressions for the SWA / checkpoint-selection interaction.
+
+    Historically ``swa_fraction`` defaulted to 1.0 (SWA never ran) and,
+    when lowered, ``keeper.restore()`` ran *after* the SWA write-back and
+    silently discarded the average.  The two mechanisms are now mutually
+    exclusive and the chosen path is recorded.
+    """
+
+    def test_post_init_rejects_bad_swa_fraction(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                TrainConfig(swa_fraction=bad)
+
+    def test_swa_and_selection_mutually_exclusive(self, tiny_designs,
+                                                  in_features):
+        config = TrainConfig(**{**FAST.__dict__, "swa_fraction": 0.5})
+        assert 0.0 < config.holdout_fraction < 1.0  # selection active
+        model = TimingPredictor(in_features, seed=0)
+        with pytest.raises(ValueError, match="mutually"):
+            OursTrainer(model, tiny_designs, config)
+
+    def test_swa_runs_and_is_kept(self, tiny_designs, in_features):
+        config = TrainConfig(**{**FAST.__dict__, "swa_fraction": 0.5,
+                                "holdout_fraction": 0.0})
+        model = TimingPredictor(in_features, seed=0)
+        trainer = OursTrainer(model, tiny_designs, config)
+        trainer.fit()
+        assert trainer.final_weights_source == "swa"
+        assert np.isfinite(model.predict(tiny_designs[0])).all()
+
+    def test_selection_path_reported(self, tiny_designs, in_features):
+        model = TimingPredictor(in_features, seed=0)
+        trainer = OursTrainer(model, tiny_designs, FAST)
+        trainer.fit(steps=2)
+        assert trainer.final_weights_source in ("best-checkpoint",
+                                                "final-iterate")
+
+    def test_no_swa_no_selection_keeps_final_iterate(self, tiny_designs,
+                                                     in_features):
+        config = TrainConfig(**{**FAST.__dict__, "holdout_fraction": 0.0})
+        model = TimingPredictor(in_features, seed=0)
+        trainer = OursTrainer(model, tiny_designs, config)
+        trainer.fit(steps=2)
+        assert trainer.final_weights_source == "final-iterate"
+
+    def test_step_records_lr_and_grad_norm(self, tiny_designs,
+                                           in_features):
+        model = TimingPredictor(in_features, seed=0)
+        trainer = OursTrainer(model, tiny_designs, FAST)
+        history = trainer.fit(steps=2)
+        record = history[0]
+        assert {"lr", "grad_norm", "grad_norm_clipped", "warmup",
+                "step_seconds"} <= set(record)
+        assert record["grad_norm_clipped"] <= FAST.grad_clip + 1e-12
+        assert record["grad_norm_clipped"] <= record["grad_norm"] + 1e-12
+
+
 class TestBaselineStrategies:
     def test_adv_only_trains_on_target_only(self, tiny_designs, in_features):
         model = train_adv_only(tiny_designs, in_features, FAST)
@@ -181,6 +239,53 @@ class TestEvaluationHelpers:
         t = measure_inference_runtime(model.predict, tiny_designs[0],
                                       repeats=2)
         assert t > 0
+
+
+class TestTelemetryIntegration:
+    """Trainers stream schema-valid telemetry through a RunLogger."""
+
+    def test_ours_trainer_streams_records(self, tmp_path, tiny_designs,
+                                          in_features):
+        from repro.obs import RunLogger, load_run, validate_run_dir
+
+        run_dir = tmp_path / "run"
+        model = TimingPredictor(in_features, seed=0)
+        with RunLogger(run_dir) as logger:
+            logger.log_manifest(config=FAST, seeds={"train": FAST.seed})
+            trainer = OursTrainer(model, tiny_designs, FAST,
+                                  logger=logger)
+            trainer.fit(steps=4)
+            logger.log_summary(per_design={}, timings={})
+        assert validate_run_dir(run_dir) == []
+        records = load_run(run_dir)["records"]
+        steps = [r for r in records if r["kind"] == "step"]
+        assert [r["step"] for r in steps] == [0, 1, 2, 3]
+        assert {"total", "elbo", "contrastive", "cmd", "lr",
+                "grad_norm", "grad_norm_clipped", "warmup",
+                "step_seconds"} <= set(steps[0])
+        assert any(r["kind"] == "validation" for r in records)
+        (final,) = [r for r in records if r["kind"] == "final_weights"]
+        assert final["source"] == trainer.final_weights_source
+
+    def test_pt_ft_streams_both_stages(self, tmp_path, tiny_designs,
+                                       in_features):
+        from repro.obs import RunLogger, load_run, validate_run_dir
+
+        run_dir = tmp_path / "run"
+        config = TrainConfig(**{**FAST.__dict__, "steps": 4})
+        with RunLogger(run_dir) as logger:
+            logger.log_manifest(config=config, seeds={"train": config.seed})
+            train_pt_ft(tiny_designs, in_features, config, logger=logger)
+            logger.log_summary(per_design={}, timings={})
+        assert validate_run_dir(run_dir) == []
+        records = load_run(run_dir)["records"]
+        steps = [r for r in records if r["kind"] == "step"]
+        stages = [r["stage"] for r in steps]
+        assert stages == ["pretrain"] * 4 + ["finetune"] * 2
+        # Finetune steps continue the global step counter.
+        assert [r["step"] for r in steps] == [0, 1, 2, 3, 4, 5]
+        finals = [r for r in records if r["kind"] == "final_weights"]
+        assert [f["stage"] for f in finals] == ["pretrain", "finetune"]
 
 
 class TestSelectionFlag:
