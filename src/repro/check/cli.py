@@ -60,8 +60,8 @@ def run_check(paths: Optional[Sequence] = None, fmt: str = "text",
             emit(f"{entry.name}: {entry.description}")
         for name, description in META_RULES.items():
             emit(f"{name}: {description} (driver-emitted)")
-        emit(f"gradcheck: finite-difference + NaN/dtype audit over "
-             f"{len(CASES)} registered op cases")
+        emit(f"gradcheck: finite-difference + NaN/dtype + no-grad "
+             f"graph audit over {len(CASES)} registered op cases")
         return 0
 
     findings: List[Finding] = []

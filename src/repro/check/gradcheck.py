@@ -13,7 +13,13 @@ Generalises the one-off finite-difference harness in
   agreement on **every** differentiable input, (2) NaN/inf-free
   forward values and gradients, and (3) dtype stability — the engine
   is float64 end to end, so any float32 (or other) drift in outputs or
-  gradients is a silent-precision bug.
+  gradients is a silent-precision bug;
+- each case is additionally run under :func:`repro.nn.no_grad`
+  (:func:`check_no_grad`): the output must carry no parents and no
+  backward closure — anything else is a graph leak on the serving
+  path — and its values must be bit-identical to the grad-enabled
+  forward, which is the contract that licenses inference-only fast
+  paths such as the slice-maximum pooling kernel.
 
 Cases must be deterministic: anything stochastic (dropout) recreates
 its own seeded Generator on every call so the finite-difference
@@ -28,7 +34,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, no_grad
 from ..nn import functional as F
 from ..util import legacy_mode
 from .rules import Finding
@@ -151,6 +157,49 @@ def check_case(op_case: OpCase) -> List[str]:
     return problems
 
 
+def check_no_grad(op_case: OpCase) -> List[str]:
+    """Audit one case's inference contract under :func:`no_grad`.
+
+    With gradients disabled the op must build no graph — no parent
+    references, no backward closure, ``requires_grad`` off — or every
+    serving-path forward would pin its intermediates (a memory leak
+    ``backward()`` never releases).  The values must also match the
+    grad-enabled forward bit for bit: that equality is what licenses
+    inference-only fast paths (e.g. the slice-maximum pooling kernel)
+    to diverge in *implementation* from the autograd op.
+    """
+    problems: List[str] = []
+    fn, inputs = op_case.build()
+    arrays = {name: np.asarray(value, dtype=np.float64)
+              for name, value in inputs.items()}
+    reference = fn(**{name: Tensor(value.copy(), requires_grad=True)
+                      for name, value in arrays.items()})
+    if not isinstance(reference, Tensor):
+        return []  # check_case already reports the wrong return type
+    with no_grad():
+        out = fn(**{name: Tensor(value.copy(), requires_grad=True)
+                    for name, value in arrays.items()})
+    if not isinstance(out, Tensor):
+        return [f"no_grad forward returned {type(out).__name__}, "
+                "expected Tensor"]
+    if out.requires_grad:
+        problems.append("output has requires_grad=True under no_grad()")
+    if out._parents:
+        problems.append(
+            f"output retains {len(out._parents)} parent reference(s) "
+            "under no_grad() (graph leak on the serving path)")
+    if out._backward is not None:
+        problems.append("output carries a backward closure under "
+                        "no_grad()")
+    if not np.array_equal(reference.data, out.data):
+        diff = float(np.max(np.abs(reference.data - out.data)))
+        problems.append(
+            f"no_grad forward deviates from the autograd forward "
+            f"(max |diff| = {diff:.3e}); fast paths must be "
+            "bit-identical")
+    return problems
+
+
 def functional_ops() -> List[str]:
     """Public autograd ops defined by :mod:`repro.nn.functional`."""
     ops = []
@@ -184,6 +233,10 @@ def run_gradcheck() -> List[Finding]:
         for problem in check_case(op_case):
             findings.append(Finding(
                 "gradcheck", f"{op_case.op}:{op_case.label}", 0, problem))
+        for problem in check_no_grad(op_case):
+            findings.append(Finding(
+                "gradcheck-no-grad", f"{op_case.op}:{op_case.label}", 0,
+                problem))
     return findings
 
 

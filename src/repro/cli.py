@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli report DESIGN NODE     # design/timing/power report
     python -m repro.cli libs                   # library summaries
     python -m repro.cli train [--steps N]      # train ours, report test R^2
+    python -m repro.cli predict DESIGN...      # serve predictions (fast path)
     python -m repro.cli report-run RUNDIR      # render a run's telemetry
     python -m repro.cli experiments [NAMES]    # regenerate tables/figures
     python -m repro.cli check [PATHS]          # static lint + autograd audit
@@ -177,8 +178,77 @@ def cmd_train(args) -> int:
             final_weights=trainer.final_weights_source,
             timings=get_timings(),
         )
+    if args.save_model:
+        from .infer import save_predictor
+
+        save_predictor(model, args.save_model)
+        print(f"serving checkpoint written to {args.save_model} "
+              f"(use with `repro predict --model`)")
     print(f"run telemetry written to {run_dir} "
           f"(render with `repro report-run {run_dir}`)")
+    if args.profile:
+        print("\nphase timings:")
+        print(timing_report())
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from .experiments import build_dataset
+    from .infer import InferenceEngine, load_predictor
+    from .train import r2_score
+    from .util import reset_timings, timing_report
+
+    reset_timings()
+    dataset = build_dataset(workers=args.workers,
+                            use_cache=not args.no_flow_cache,
+                            cache_dir=args.cache_dir)
+    try:
+        designs = [dataset.by_name(name) for name in args.designs]
+    except KeyError as exc:
+        known = ", ".join(sorted(d.name
+                                 for d in dataset.train + dataset.test))
+        print(f"unknown design {exc.args[0]!r}; choose from: {known}")
+        return 1
+
+    if args.model:
+        model = load_predictor(args.model)
+        if model.init_config["in_features"] != dataset.in_features:
+            print(f"checkpoint expects {model.init_config['in_features']}"
+                  f" input features, dataset has {dataset.in_features}")
+            return 1
+    else:
+        from .model import TimingPredictor
+        from .train import OursTrainer, TrainConfig
+
+        print(f"no --model given; training for {args.train_steps} "
+              f"steps ...")
+        model = TimingPredictor(dataset.in_features, seed=args.seed)
+        trainer = OursTrainer(
+            model, dataset.train,
+            TrainConfig(steps=args.train_steps, seed=args.seed))
+        trainer.fit()
+
+    mc_samples = args.mc_samples
+    if args.uncertainty and mc_samples <= 0:
+        mc_samples = 16
+    engine = InferenceEngine(model, use_cache=not args.no_cache)
+    for _ in range(max(1, args.repeat)):
+        results = engine.predict_many(designs, mc_samples=mc_samples,
+                                      with_uncertainty=args.uncertainty,
+                                      seed=args.seed)
+    for design in designs:
+        pred = results[design.name]
+        r2 = r2_score(design.labels, pred.mean)
+        line = (f"{design.name:>12}@{design.node}: "
+                f"{pred.num_endpoints} endpoints, "
+                f"mean AT {pred.mean.mean():.4f} ns, "
+                f"max AT {pred.mean.max():.4f} ns, R^2 {r2:.3f}")
+        if pred.std is not None:
+            line += f", mean std {pred.std.mean():.4f} ns"
+        print(line)
+    stats = engine.cache_stats()
+    print(f"feature cache: {stats['hits']} hits, {stats['misses']} "
+          f"misses, {stats['entries']} entries")
     if args.profile:
         print("\nphase timings:")
         print(timing_report())
@@ -264,6 +334,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default runs/<timestamp>-<tag>/)")
     p.add_argument("--tag", default="train",
                    help="suffix for the default run directory name")
+    p.add_argument("--save-model", default=None, metavar="PATH",
+                   help="write a serving checkpoint (weights + node "
+                        "priors) for `repro predict --model`")
+
+    p = sub.add_parser("predict",
+                       help="serve predictions via the fast "
+                            "inference engine")
+    p.add_argument("designs", nargs="+", metavar="DESIGN",
+                   help="design names from the experiment dataset")
+    p.add_argument("--model", default=None, metavar="PATH",
+                   help="serving checkpoint from `repro train "
+                        "--save-model` (default: train from scratch)")
+    p.add_argument("--train-steps", type=int, default=150,
+                   help="training steps when no --model is given")
+    p.add_argument("--uncertainty", action="store_true",
+                   help="also report per-endpoint predictive std")
+    p.add_argument("--mc-samples", type=int, default=0,
+                   help="Monte-Carlo prior samples (0 = prior mean)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the per-design feature cache")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="repeat the prediction pass (cache warm-up "
+                        "demo / profiling)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for cold dataset builds")
+    p.add_argument("--no-flow-cache", action="store_true",
+                   help="bypass the on-disk design cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="design cache root (default $REPRO_CACHE_DIR)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase timing totals")
 
     p = sub.add_parser("report-run",
                        help="render a training run's telemetry")
@@ -305,6 +407,7 @@ COMMANDS = {
     "sta": cmd_sta,
     "export": cmd_export,
     "train": cmd_train,
+    "predict": cmd_predict,
     "experiments": cmd_experiments,
 }
 

@@ -1,0 +1,333 @@
+"""Forward-only inference engine for the timing predictor.
+
+Serving a trained :class:`~repro.model.TimingPredictor` through its
+training-oriented ``predict()`` pays for machinery inference never
+uses: the autograd graph (backward closures allocated and immediately
+discarded), one full GNN sweep + CNN forward per call even when the
+model has not changed, and a separate prior-MLP forward per design.
+:class:`InferenceEngine` removes all three:
+
+- every forward runs inside :func:`repro.nn.no_grad`, so no graph is
+  recorded (bit-identical values, no bookkeeping);
+- extractor outputs are memoised per design in a
+  :class:`~repro.infer.cache.FeatureCache` keyed by the model's weight
+  digest, so repeated queries — the serving pattern — skip the GNN and
+  CNN entirely and reduce to two small matmuls;
+- ``predict_many`` merges the queried designs into one disjoint-union
+  graph (reusing :func:`repro.train.fused.merge_pin_graphs`) for a
+  single levelised sweep + one stacked CNN forward, and hoists the
+  transductive population-prior update out of the per-design loop into
+  one batched prior-MLP forward;
+- the CNN runs through the forward-only numpy kernels of
+  :mod:`repro.infer.kernels`, and the *weight-independent* parts of a
+  cold extraction — the first conv layer's im2col columns and the
+  fused batch structure, both functions of the immutable design data
+  alone — are memoised per design/design-set, so they survive weight
+  updates that invalidate the feature cache.
+
+Numerics are the training path's: every prediction matches
+``TimingPredictor.predict`` to ~1e-10 (asserted by
+``tests/infer/test_engine.py`` and ``benchmarks/bench_inference.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..flow import DesignData
+from ..model import TimingPredictor
+from ..nn import Tensor, no_grad
+from ..train.fused import FusedDesignBatch, slice_ranges
+from ..util import timed
+from .cache import FeatureCache, FeatureTriple, weight_digest
+from .kernels import ColumnsTriple, cnn_forward, image_columns
+
+__all__ = ["InferenceEngine", "Prediction"]
+
+
+class Prediction:
+    """One design's serving result (arrays, not tensors)."""
+
+    __slots__ = ("name", "node", "mean", "std", "num_endpoints")
+
+    def __init__(self, name: str, node: str, mean: np.ndarray,
+                 std: Optional[np.ndarray] = None) -> None:
+        self.name = name
+        self.node = node
+        self.mean = mean
+        self.std = std
+        self.num_endpoints = int(mean.shape[0])
+
+    def __repr__(self) -> str:
+        flag = ", std" if self.std is not None else ""
+        return (f"Prediction({self.name}@{self.node}, "
+                f"endpoints={self.num_endpoints}{flag})")
+
+
+class InferenceEngine:
+    """Batched, cached, no-grad serving front-end for one model.
+
+    Parameters
+    ----------
+    model:
+        A trained predictor whose node priors have been finalised
+        (``OursTrainer.fit`` does this; so does
+        :func:`repro.infer.load_predictor`).
+    use_cache:
+        Memoise per-design extractor outputs keyed by the weight
+        digest.  Disable for strictly stateless serving.
+    transductive:
+        Fold each queried design's own (unlabeled) paths into the node
+        population before reading the prior — Equation (7)'s "all the
+        timing paths on the target node" (matches ``predict()``'s
+        default).
+    cache_columns:
+        Additionally memoise *weight-independent* preprocessing per
+        design: the CNN's first-layer im2col columns and (for
+        ``predict_many``) the union-graph batch structure.  Unlike the
+        feature cache these survive model updates — the inputs they
+        derive from are immutable flow outputs — but the columns are
+        ~9x the image stack in memory, so disable when serving a very
+        large design population from a small footprint.
+    """
+
+    def __init__(self, model: TimingPredictor, use_cache: bool = True,
+                 transductive: bool = True,
+                 cache_columns: bool = True) -> None:
+        self.model = model
+        self.cache: Optional[FeatureCache] = \
+            FeatureCache() if use_cache else None
+        self.transductive = transductive
+        self.cache_columns = cache_columns
+        #: (name, node) -> first-layer im2col columns of the design's
+        #: path images (weight-independent, never invalidated).
+        self._image_cols: Dict[Tuple[str, str], ColumnsTriple] = {}
+        #: design-set key -> (FusedDesignBatch, subsets, images, cols);
+        #: the union graph and stacked images are weight-independent.
+        self._structs: Dict[Tuple[Tuple[str, str], ...], tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Feature extraction (the cached, expensive half)
+    # ------------------------------------------------------------------
+    def _digest(self) -> str:
+        with timed("infer.digest"):
+            return weight_digest(self.model)
+
+    def _columns_for(self, design: DesignData,
+                     images: np.ndarray) -> Optional[ColumnsTriple]:
+        """Cached first-layer columns for one design (None = uncached)."""
+        if not self.cache_columns:
+            return None
+        key = (design.name, design.node)
+        cols = self._image_cols.get(key)
+        if cols is None:
+            conv1 = self.model.extractor.cnn.conv1
+            cols = image_columns(images, conv1.weight.data,
+                                 conv1.stride, conv1.padding)
+            self._image_cols[key] = cols
+        return cols
+
+    def _disentangle(self, u_graph: np.ndarray, u_layout: np.ndarray
+                     ) -> FeatureTriple:
+        """Concatenate the two modalities and split ``u -> (u_n, u_d)``."""
+        u = np.concatenate([u_graph, u_layout], axis=1)
+        with no_grad():
+            u_n, u_d = self.model.disentangler(Tensor(u))
+        return u, u_n.data, u_d.data
+
+    def features(self, design: DesignData) -> FeatureTriple:
+        """``(u, u_n, u_d)`` arrays over the design's full endpoint set."""
+        digest = self._digest() if self.cache is not None else ""
+        if self.cache is not None:
+            hit = self.cache.lookup(design, digest)
+            if hit is not None:
+                return hit
+        model = self.model
+        with timed("infer.features"):
+            images = design.path_image_stack()
+            with no_grad():
+                u_graph = model.extractor.gnn(
+                    design.graph, design.graph.endpoint_rows).data
+            u_layout = cnn_forward(
+                model.extractor.cnn,
+                images, cols=self._columns_for(design, images))
+            triple = self._disentangle(u_graph, u_layout)
+        if self.cache is not None:
+            self.cache.store(design, digest, triple)
+        return triple
+
+    def _batch_struct(self, missed: Sequence[DesignData]) -> tuple:
+        """Weight-independent batch structure for a set of designs:
+        union graph, full endpoint subsets, stacked images, columns."""
+        key = tuple((d.name, d.node) for d in missed)
+        struct = self._structs.get(key)
+        if struct is None:
+            batch = FusedDesignBatch(list(missed))
+            subsets = [np.arange(d.num_endpoints) for d in missed]
+            images = batch.stacked_path_images(subsets)
+            cols = None
+            if self.cache_columns:
+                conv1 = self.model.extractor.cnn.conv1
+                cols = image_columns(images, conv1.weight.data,
+                                     conv1.stride, conv1.padding)
+            struct = (batch, subsets, images, cols)
+            self._structs[key] = struct
+        return struct
+
+    def _features_many(self, designs: Sequence[DesignData]
+                       ) -> List[FeatureTriple]:
+        """Per-design triples, extracting every cache miss in ONE fused
+        forward (union graph sweep + stacked CNN)."""
+        digest = self._digest() if self.cache is not None else ""
+        triples: List[Optional[FeatureTriple]] = [None] * len(designs)
+        misses: List[int] = []
+        for i, design in enumerate(designs):
+            hit = self.cache.lookup(design, digest) \
+                if self.cache is not None else None
+            if hit is not None:
+                triples[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            missed = [designs[i] for i in misses]
+            model = self.model
+            with timed("infer.features"):
+                batch, subsets, images, cols = self._batch_struct(missed)
+                rows = batch.merged_endpoint_rows(subsets)
+                with no_grad():
+                    u_graph = model.extractor.gnn(batch.graph, rows).data
+                u_layout = cnn_forward(model.extractor.cnn, images,
+                                       cols=cols)
+                u, u_n, u_d = self._disentangle(u_graph, u_layout)
+            for (lo, hi), i in zip(
+                    slice_ranges([len(s) for s in subsets]), misses):
+                triple = (u[lo:hi], u_n[lo:hi], u_d[lo:hi])
+                triples[i] = triple
+                if self.cache is not None:
+                    self.cache.store(designs[i], digest, triple)
+        return triples  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Priors (the cheap, per-query half)
+    # ------------------------------------------------------------------
+    def _batched_priors(self, designs: Sequence[DesignData],
+                        triples: Sequence[FeatureTriple]
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(D, m)`` prior mu / log_var rows, one MLP forward for all.
+
+        The transductive update (folding each design's own paths into
+        its node population) happens in plain numpy per design — only
+        the amortisation MLPs, the part worth batching, run once over
+        the stacked ``u_tilde`` rows.
+        """
+        model = self.model
+        rows = []
+        for design, (_, u_n, u_d) in zip(designs, triples):
+            model._prior_weights(design.node)  # raises if not finalised
+            if self.transductive:
+                rows.append(model._prior_feature(design.node,
+                                                 extra_un=u_n,
+                                                 extra_ud=u_d))
+            else:
+                rows.append(model._prior_feature(design.node))
+        with timed("infer.prior"), no_grad():
+            mu, log_var = model.readout.weight_distribution(
+                Tensor(np.concatenate(rows, axis=0)))
+        return mu.data, log_var.data
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _readout(self, u: np.ndarray, mu: np.ndarray,
+                 log_var: np.ndarray, mc_samples: int,
+                 rng: Optional[np.random.Generator], seed: int,
+                 with_std: bool) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Apply the prior readout to features (vectorised MC draws)."""
+        model = self.model
+        if mc_samples > 0:
+            draw = rng if rng is not None else np.random.default_rng(seed)
+            preds = model._sample_prior_predictions(
+                u, mu, log_var, mc_samples, draw)
+            std = preds.std(axis=0) if with_std else None
+            return preds.mean(axis=0), std
+        mean = u @ mu[0] + float(model.readout.bias.data[0])
+        return mean, None
+
+    def predict(self, design: DesignData,
+                endpoint_subset: Optional[np.ndarray] = None,
+                mc_samples: int = 0,
+                rng: Optional[np.random.Generator] = None,
+                seed: int = 0) -> np.ndarray:
+        """Arrival-time predictions, numerically matching
+        ``TimingPredictor.predict`` — minus the autograd machinery, and
+        with warm calls skipping the GNN/CNN via the feature cache."""
+        with timed("infer.predict"):
+            u, u_n, u_d = self.features(design)
+            if endpoint_subset is not None:
+                idx = np.asarray(endpoint_subset)
+                u, u_n, u_d = u[idx], u_n[idx], u_d[idx]
+            with no_grad():
+                mu, log_var = self.model._design_prior(
+                    design, u_n, u_d, self.transductive)
+            mean, _ = self._readout(u, mu, log_var, mc_samples, rng,
+                                    seed, with_std=False)
+        return mean
+
+    def predict_with_uncertainty(self, design: DesignData,
+                                 endpoint_subset: Optional[np.ndarray] = None,
+                                 mc_samples: int = 16,
+                                 rng: Optional[np.random.Generator] = None,
+                                 seed: int = 0
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and std per endpoint (cached features)."""
+        with timed("infer.predict"):
+            u, u_n, u_d = self.features(design)
+            if endpoint_subset is not None:
+                idx = np.asarray(endpoint_subset)
+                u, u_n, u_d = u[idx], u_n[idx], u_d[idx]
+            with no_grad():
+                mu, log_var = self.model._design_prior(
+                    design, u_n, u_d, transductive=True)
+            draw = rng if rng is not None else np.random.default_rng(seed)
+            preds = self.model._sample_prior_predictions(
+                u, mu, log_var, mc_samples, draw)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def predict_many(self, designs: Sequence[DesignData],
+                     mc_samples: int = 0,
+                     with_uncertainty: bool = False,
+                     rng: Optional[np.random.Generator] = None,
+                     seed: int = 0) -> Dict[str, Prediction]:
+        """Fused multi-design prediction: one graph sweep and one CNN
+        forward for every cache-missing design, one batched prior-MLP
+        forward for all, then per-design readouts.
+
+        When ``rng`` is None each design draws from a fresh
+        ``default_rng(seed)``, so results match per-design
+        ``predict(..., seed=seed)`` calls exactly; pass an explicit
+        generator to consume one stream across designs instead.
+        """
+        if with_uncertainty and mc_samples <= 0:
+            raise ValueError("uncertainty needs mc_samples > 0")
+        with timed("infer.predict_many"):
+            triples = self._features_many(designs)
+            mu_all, lv_all = self._batched_priors(designs, triples)
+            out: Dict[str, Prediction] = {}
+            for i, (design, (u, _, _)) in enumerate(zip(designs, triples)):
+                draw = rng if rng is not None else \
+                    np.random.default_rng(seed)
+                mean, std = self._readout(
+                    u, mu_all[i:i + 1], lv_all[i:i + 1], mc_samples,
+                    draw, seed, with_std=with_uncertainty)
+                out[design.name] = Prediction(design.name, design.node,
+                                              mean, std)
+        return out
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counters (zeros when the cache is disabled)."""
+        if self.cache is None:
+            return {"hits": 0, "misses": 0, "entries": 0}
+        return self.cache.stats()

@@ -1,0 +1,111 @@
+"""Checkpointing a *trained* predictor for serving.
+
+``repro.nn.serialization`` round-trips a module's trainable parameters,
+but a deployable :class:`~repro.model.TimingPredictor` is more than its
+weights: inference (Equation 7) reads the finalised node-population
+statistics and the per-node prior Gaussians that
+``finalize_node_priors`` caches on the instance.  This module persists
+the whole serving state — constructor config, every tensor (including
+ablation-frozen ones), population sums/counts, node priors — in one
+``.npz`` with no pickled objects, so ``repro train --save-model`` and
+``repro predict --model`` compose into a train-once/serve-many flow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..model import TimingPredictor
+from .cache import named_tensors
+
+__all__ = ["load_predictor", "save_predictor"]
+
+_FORMAT_VERSION = 1
+
+
+def save_predictor(model: TimingPredictor,
+                   path: Union[str, Path]) -> None:
+    """Write a trained predictor (weights + finalised priors) to ``path``.
+
+    Raises
+    ------
+    RuntimeError
+        If the model's node priors were never finalised — an untrained
+        predictor cannot serve Equation (7) and must not be deployable.
+    """
+    population = getattr(model, "_population", None)
+    priors = getattr(model, "_node_priors", None)
+    if not population or not priors:
+        raise RuntimeError(
+            "predictor has no finalised node priors; train it (or call "
+            "finalize_node_priors) before saving a serving checkpoint"
+        )
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.array(json.dumps({
+            "format_version": _FORMAT_VERSION,
+            "init_config": model.init_config,
+        })),
+        "pop::ud_sum": population["ud_sum"],
+        "pop::ud_count": np.array(population["ud_count"]),
+    }
+    for name, tensor in named_tensors(model):
+        arrays[f"param::{name}"] = tensor.data
+    for node, value in population["un_sum"].items():
+        arrays[f"pop::un_sum::{node}"] = value
+        arrays[f"pop::un_count::{node}"] = \
+            np.array(population["un_count"][node])
+    for node, (mu, log_var) in priors.items():
+        arrays[f"prior::mu::{node}"] = mu
+        arrays[f"prior::log_var::{node}"] = log_var
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_predictor(path: Union[str, Path]) -> TimingPredictor:
+    """Rebuild a serving-ready predictor saved by :func:`save_predictor`."""
+    with np.load(str(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported predictor checkpoint version "
+                f"{meta.get('format_version')!r} in {path}"
+            )
+        model = TimingPredictor(**meta["init_config"])
+        tensors = dict(named_tensors(model))
+        for key in archive.files:
+            if not key.startswith("param::"):
+                continue
+            name = key[len("param::"):]
+            if name not in tensors:
+                raise KeyError(f"checkpoint parameter {name!r} does not "
+                               "exist in the rebuilt model")
+            value = archive[key]
+            if tensors[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{tensors[name].data.shape} vs {value.shape}"
+                )
+            # repro-check: disable=tensor-data-mutation -- checkpoint load writes leaf tensors before any graph exists
+            tensors[name].data[...] = value
+        population = {
+            "ud_sum": archive["pop::ud_sum"],
+            "ud_count": float(archive["pop::ud_count"]),
+            "un_sum": {}, "un_count": {},
+        }
+        priors = {}
+        for key in archive.files:
+            if key.startswith("pop::un_sum::"):
+                node = key[len("pop::un_sum::"):]
+                population["un_sum"][node] = archive[key]
+                population["un_count"][node] = \
+                    float(archive[f"pop::un_count::{node}"])
+            elif key.startswith("prior::mu::"):
+                node = key[len("prior::mu::"):]
+                priors[node] = (archive[key],
+                                archive[f"prior::log_var::{node}"])
+    model._population = population
+    model._node_priors = priors
+    return model

@@ -41,6 +41,14 @@ class TimingPredictor(Module):
                  readout_hidden: int = 32, mc_samples: int = 4,
                  seed: int = 0) -> None:
         super().__init__()
+        #: Constructor arguments, recorded so a trained predictor can be
+        #: rebuilt from a checkpoint (see ``repro.infer.serialization``).
+        self.init_config = {
+            "in_features": in_features, "gnn_hidden": gnn_hidden,
+            "gnn_out": gnn_out, "cnn_channels": cnn_channels,
+            "cnn_out": cnn_out, "readout_hidden": readout_hidden,
+            "mc_samples": mc_samples, "seed": seed,
+        }
         rng = np.random.default_rng(seed)
         self.extractor = PathFeatureExtractor(
             in_features, gnn_hidden=gnn_hidden, gnn_out=gnn_out,
@@ -102,11 +110,16 @@ class TimingPredictor(Module):
             mu, log_var = self._prior_from_population(node)
             self._node_priors[node] = (mu, log_var)
 
-    def _prior_from_population(self, node: str,
-                               extra_un: Optional[np.ndarray] = None,
-                               extra_ud: Optional[np.ndarray] = None
-                               ) -> Tuple[np.ndarray, np.ndarray]:
-        """Prior Gaussian from stored population sums (+ optional extras)."""
+    def _prior_feature(self, node: str,
+                       extra_un: Optional[np.ndarray] = None,
+                       extra_ud: Optional[np.ndarray] = None
+                       ) -> np.ndarray:
+        """``(1, m)`` dummy feature u_tilde(N) from stored population sums.
+
+        Split out of :meth:`_prior_from_population` so batched inference
+        (``repro.infer``) can stack many designs' rows and amortise the
+        prior MLPs over one forward pass.
+        """
         pop = self._population
         un_sum = pop["un_sum"][node].copy()
         un_count = pop["un_count"][node]
@@ -118,9 +131,16 @@ class TimingPredictor(Module):
         if extra_ud is not None:
             ud_sum += extra_ud.sum(axis=0)
             ud_count += len(extra_ud)
-        u_tilde = Tensor(np.concatenate(
+        return np.concatenate(
             [un_sum / un_count, ud_sum / ud_count]
-        ).reshape(1, -1))
+        ).reshape(1, -1)
+
+    def _prior_from_population(self, node: str,
+                               extra_un: Optional[np.ndarray] = None,
+                               extra_ud: Optional[np.ndarray] = None
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Prior Gaussian from stored population sums (+ optional extras)."""
+        u_tilde = Tensor(self._prior_feature(node, extra_un, extra_ud))
         mu, log_var = self.readout.weight_distribution(u_tilde)
         return mu.data.copy(), log_var.data.copy()
 
@@ -136,7 +156,9 @@ class TimingPredictor(Module):
     def predict(self, design: DesignData,
                 endpoint_subset: Optional[np.ndarray] = None,
                 mc_samples: int = 0,
-                transductive: bool = True) -> np.ndarray:
+                transductive: bool = True,
+                rng: Optional[np.random.Generator] = None,
+                seed: int = 0) -> np.ndarray:
         """Arrival-time predictions for a design's endpoints.
 
         Uses Equation (7): the readout weight is the node-conditioned
@@ -151,13 +173,19 @@ class TimingPredictor(Module):
         mc_samples:
             0 uses the prior mean (deterministic, the expectation of the
             MC scheme); > 0 averages that many W samples from the prior.
+        rng, seed:
+            Generator for the MC prior draws (``rng`` wins; otherwise a
+            fresh ``default_rng(seed)``).  Inference never touches the
+            training noise RNG, so identical calls return identical
+            predictions and never mutate model state.
         """
         u, u_n, u_d = self.path_features(design, endpoint_subset)
         mu, log_var = self._design_prior(design, u_n.data, u_d.data,
                                          transductive)
         if mc_samples > 0:
+            rng = rng if rng is not None else np.random.default_rng(seed)
             preds = self._sample_prior_predictions(u.data, mu, log_var,
-                                                   mc_samples)
+                                                   mc_samples, rng)
             return preds.mean(axis=0)
         return u.data @ mu[0] + float(self.readout.bias.data[0])
 
@@ -173,32 +201,40 @@ class TimingPredictor(Module):
 
     def predict_with_uncertainty(self, design: DesignData,
                                  endpoint_subset: Optional[np.ndarray] = None,
-                                 mc_samples: int = 16
+                                 mc_samples: int = 16,
+                                 rng: Optional[np.random.Generator] = None,
+                                 seed: int = 0
                                  ) -> Tuple[np.ndarray, np.ndarray]:
         """Predictive mean and standard deviation per endpoint.
 
         The paper never evaluates its predictive uncertainty; we expose
         it because the Bayesian head provides it for free (see the
-        calibration ablation in EXPERIMENTS.md).
+        calibration ablation in EXPERIMENTS.md).  ``rng``/``seed``
+        select the MC draws exactly as in :meth:`predict`.
         """
         u, u_n, u_d = self.path_features(design, endpoint_subset)
         mu, log_var = self._design_prior(design, u_n.data, u_d.data,
                                          transductive=True)
+        rng = rng if rng is not None else np.random.default_rng(seed)
         preds = self._sample_prior_predictions(u.data, mu, log_var,
-                                               mc_samples)
+                                               mc_samples, rng)
         return preds.mean(axis=0), preds.std(axis=0)
 
     def _sample_prior_predictions(self, u: np.ndarray, mu: np.ndarray,
-                                  log_var: np.ndarray,
-                                  n_samples: int) -> np.ndarray:
-        rng = self.readout._noise_rng
+                                  log_var: np.ndarray, n_samples: int,
+                                  rng: np.random.Generator) -> np.ndarray:
+        """``(n_samples, K)`` MC predictions under the prior Gaussian.
+
+        One ``(n_samples,) + mu.shape`` draw and one batched matmul
+        replace the historical per-sample Python loop; the generator
+        fills C-order, so the draws (and therefore the predictions)
+        match the looped version sample for sample under the same seed.
+        """
         std = np.exp(0.5 * log_var)
         bias = float(self.readout.bias.data[0])
-        preds = []
-        for _ in range(n_samples):
-            w = mu + std * rng.standard_normal(mu.shape)
-            preds.append(u @ w[0] + bias)
-        return np.stack(preds)
+        eps = rng.standard_normal((n_samples,) + mu.shape)
+        w = (mu + std * eps)[:, 0, :]          # (n_samples, m)
+        return (u @ w.T).T + bias
 
     def prior_for(self, u_node: Tensor, u_design_all: Tensor
                   ) -> Tuple[Tensor, Tensor]:

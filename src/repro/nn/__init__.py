@@ -11,6 +11,7 @@ Public surface:
 
 from . import functional
 from . import init
+from .grad_mode import enable_grad, is_grad_enabled, no_grad
 from .layers import (
     Conv2d,
     Flatten,
@@ -68,10 +69,13 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "enable_grad",
     "functional",
     "gather_rows",
     "init",
+    "is_grad_enabled",
     "load_module",
+    "no_grad",
     "save_module",
     "scatter_add_rows",
     "stack",

@@ -13,9 +13,20 @@ from typing import Tuple
 import numpy as np
 
 from ..util import is_legacy
+from .grad_mode import is_grad_enabled
 from .tensor import Tensor, _finish, as_tensor
 
 LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def _inference_only(grad: np.ndarray, out: Tensor) -> None:
+    """Backward placeholder for ops with a dedicated no-grad fast path.
+
+    Such ops are only reachable with gradients disabled, so ``_finish``
+    drops this function without constructing a wiring closure; it can
+    never legitimately run.
+    """
+    raise AssertionError("inference-only op entered backward")
 
 
 # ----------------------------------------------------------------------
@@ -135,7 +146,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
         # (o,k) @ (n,k,l) -> (n,o,l).
         out_data = np.matmul(w_mat, cols)
     if bias is not None:
-        out_data = out_data + bias.data[None, :, None]
+        # In place: out_data is a fresh array either way, and the extra
+        # (N, C_out, oh*ow) temporary is measurable on big path batches.
+        out_data += bias.data[None, :, None]
     out_data = out_data.reshape(x.shape[0], c_out, oh, ow)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
@@ -168,6 +181,22 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
     n, c, h, w = x.shape
     oh = (h - kernel) // stride + 1
     ow = (w - kernel) // stride + 1
+    if not is_grad_enabled():
+        # Forward-only fast path: the argmax / take_along_axis pass (and
+        # the window-flattening copy feeding it) exists solely to route
+        # gradients; a running elementwise maximum over the kernel-offset
+        # slices yields the same window maxima bit for bit at a fraction
+        # of the memory traffic.
+        out_data = None
+        for i in range(kernel):
+            for j in range(kernel):
+                part = x.data[:, :, i:i + stride * oh:stride,
+                              j:j + stride * ow:stride]
+                if out_data is None:
+                    out_data = part.copy()
+                else:
+                    np.maximum(out_data, part, out=out_data)
+        return _finish(out_data, (x,), _inference_only)
     strides = x.data.strides
     shape = (n, c, oh, ow, kernel, kernel)
     view_strides = (strides[0], strides[1], strides[2] * stride,

@@ -28,6 +28,8 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .grad_mode import is_grad_enabled
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
@@ -126,8 +128,16 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a result tensor wired into the autograd graph."""
-        requires = any(p.requires_grad for p in parents)
+        """Create a result tensor wired into the autograd graph.
+
+        Inside a :func:`repro.nn.no_grad` scope the result is detached:
+        no parents are recorded and no backward closure is kept, so the
+        forward graph is never materialised.  Every op funnels through
+        here (directly or via ``_finish``), which is what makes the
+        no-grad fast path engine-wide rather than per-op.
+        """
+        requires = is_grad_enabled() and \
+            any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
@@ -464,11 +474,19 @@ class Tensor:
 
 def _finish(data: np.ndarray, parents: Tuple[Tensor, ...],
             backward: Callable[[np.ndarray, Tensor], None]) -> Tensor:
-    """Build a graph node whose backward closure receives (grad, out)."""
-    out = Tensor._make(np.asarray(data), parents, lambda g: None)
+    """Build a graph node whose backward closure receives (grad, out).
+
+    Under :func:`no_grad` the result requires no gradient, so the
+    wiring closure is never constructed and ``backward`` is dropped.
+    """
+    out = Tensor._make(np.asarray(data), parents, _NO_BACKWARD)
     if out.requires_grad:
         out._backward = lambda grad: backward(grad, out)
     return out
+
+
+def _NO_BACKWARD(grad: np.ndarray) -> None:  # placeholder, never called
+    raise AssertionError("placeholder backward invoked")
 
 
 def as_tensor(value: ArrayLike) -> Tensor:

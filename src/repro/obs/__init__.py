@@ -11,6 +11,7 @@ from .logger import NullRunLogger, RunLogger, build_manifest, default_run_dir
 from .report import load_run, manifest_diff, render_loss_curve, render_run
 from .schema import (
     RECORD_SCHEMAS,
+    validate_bench_inference,
     validate_manifest,
     validate_record,
     validate_run_dir,
@@ -27,6 +28,7 @@ __all__ = [
     "manifest_diff",
     "render_loss_curve",
     "render_run",
+    "validate_bench_inference",
     "validate_manifest",
     "validate_record",
     "validate_run_dir",

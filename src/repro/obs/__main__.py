@@ -3,32 +3,59 @@
 Exits nonzero when any artifact is missing, unparseable, or violates
 the record schema; CI runs this over the smoke-train run directory so
 a silently broken telemetry writer fails the build.
+
+``python -m repro.obs --bench BENCH_inference.json`` validates an
+inference-benchmark payload instead (same exit convention); CI runs it
+over the smoke bench's output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence
 
-from .schema import validate_run_dir
+from .schema import validate_bench_inference, validate_run_dir
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="validate a run directory's telemetry artifacts",
+        description="validate run telemetry (or a bench payload) "
+                    "against the schema",
     )
-    parser.add_argument("run_dir", help="run directory to validate")
+    parser.add_argument("run_dir", nargs="?", default=None,
+                        help="run directory to validate")
+    parser.add_argument("--bench", default=None, metavar="JSON",
+                        help="validate a BENCH_inference.json payload "
+                             "instead of a run directory")
     args = parser.parse_args(argv)
+    if (args.run_dir is None) == (args.bench is None):
+        parser.error("give exactly one of RUNDIR or --bench JSON")
 
-    errors = validate_run_dir(args.run_dir)
+    if args.bench is not None:
+        try:
+            payload = json.loads(
+                open(args.bench, encoding="utf-8").read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.bench}: unreadable ({exc})")
+            return 1
+        errors = validate_bench_inference(payload)
+        target = args.bench
+    else:
+        errors = validate_run_dir(args.run_dir)
+        target = args.run_dir
+
     for error in errors:
-        print(f"{args.run_dir}: {error}")
+        print(f"{target}: {error}")
     if errors:
         print(f"repro.obs: {len(errors)} schema problem(s)")
         return 1
-    print(f"repro.obs: {args.run_dir} valid "
-          "(manifest.json, steps.jsonl, summary.json)")
+    if args.bench is not None:
+        print(f"repro.obs: {target} valid (bench-inference schema)")
+    else:
+        print(f"repro.obs: {target} valid "
+              "(manifest.json, steps.jsonl, summary.json)")
     return 0
 
 

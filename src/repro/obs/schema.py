@@ -32,9 +32,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Tuple, Union
 
 __all__ = [
+    "BENCH_INFERENCE_SCHEMA",
     "MANIFEST_REQUIRED",
     "RECORD_SCHEMAS",
     "SUMMARY_REQUIRED",
+    "validate_bench_inference",
     "validate_manifest",
     "validate_record",
     "validate_run_dir",
@@ -165,6 +167,65 @@ def validate_summary(summary: Any) -> List[str]:
                               "calls/seconds")
     elif timings is not None:
         errors.append("summary 'timings' is not an object")
+    return errors
+
+
+#: section -> required numeric/typed fields of ``BENCH_inference.json``
+#: (written by ``benchmarks/bench_inference.py``, validated in CI via
+#: ``python -m repro.obs --bench``).
+BENCH_INFERENCE_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "single_design": {
+        "design": (str,),
+        "cold_seconds": (int, float),
+        "warm_seconds": (int, float),
+        "speedup": (int, float),
+        "repeats": (int,),
+        "statistic": (str,),
+    },
+    "forward": {
+        "autograd_seconds": (int, float),
+        "nograd_seconds": (int, float),
+        "speedup": (int, float),
+    },
+    "batched": {
+        "looped_autograd_seconds": (int, float),
+        "fused_nograd_seconds": (int, float),
+        "speedup": (int, float),
+        "num_designs": (int,),
+        "num_endpoints": (int,),
+    },
+    "throughput": {
+        "endpoints_per_second_warm": (int, float),
+        "endpoints_per_second_cold": (int, float),
+    },
+    "equivalence": {
+        "max_abs_diff": (int, float),
+        "atol": (int, float),
+    },
+}
+
+
+def validate_bench_inference(payload: Any) -> List[str]:
+    """Problems with a ``BENCH_inference.json`` object ([] when valid)."""
+    if not isinstance(payload, Mapping):
+        return ["bench payload is not an object"]
+    errors = []
+    for section, fields in BENCH_INFERENCE_SCHEMA.items():
+        block = payload.get(section)
+        if not isinstance(block, Mapping):
+            errors.append(f"bench missing section {section!r}")
+            continue
+        for field, types in fields.items():
+            if field not in block:
+                errors.append(f"bench {section}.{field} missing")
+            elif not _type_ok(block[field], types):
+                errors.append(
+                    f"bench {section}.{field} has type "
+                    f"{type(block[field]).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}"
+                )
+    if not isinstance(payload.get("smoke"), bool):
+        errors.append("bench missing boolean 'smoke' flag")
     return errors
 
 

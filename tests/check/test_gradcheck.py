@@ -7,6 +7,7 @@ from repro.check.gradcheck import (
     OpCase,
     audit_coverage,
     check_case,
+    check_no_grad,
     functional_ops,
     run_gradcheck,
 )
@@ -114,6 +115,48 @@ class TestHarness:
         case = OpCase("double", "unit",
                       lambda: (double, {"x": np.linspace(-1.0, 1.0, 7)}))
         assert check_case(case) == []
+
+    def test_no_grad_contract_holds_for_registry(self):
+        for op_case in CASES:
+            assert check_no_grad(op_case) == [], op_case.op
+
+    def test_no_grad_graph_leak_is_caught(self):
+        def leaky(x):
+            # Hand-wires a graph node, bypassing the Tensor._make gate
+            # that normally drops wiring under no_grad().
+            out = Tensor(x.data * 2.0, requires_grad=True)
+            out._parents = (x,)
+            out._backward = lambda grad: None
+            return out
+
+        case = OpCase("leaky", "unit",
+                      lambda: (leaky, {"x": np.ones(3)}))
+        problems = check_no_grad(case)
+        assert any("parent" in p for p in problems)
+        assert any("backward closure" in p for p in problems)
+        assert any("requires_grad" in p for p in problems)
+
+    def test_no_grad_value_drift_is_caught(self):
+        from repro.nn import is_grad_enabled
+
+        def drifty(x):
+            # An inference "fast path" that is not bit-identical.
+            scale = 2.0 if is_grad_enabled() else 2.0 + 1e-12
+            return _finish(x.data * scale, (x,),
+                           lambda grad, out: out._send(x, grad * scale))
+
+        case = OpCase("drifty", "unit",
+                      lambda: (drifty, {"x": np.ones(3)}))
+        assert any("bit-identical" in p for p in check_no_grad(case))
+
+    def test_no_grad_correct_op_passes(self):
+        def double(x):
+            return _finish(x.data * 2.0, (x,),
+                           lambda grad, out: out._send(x, grad * 2.0))
+
+        case = OpCase("double", "unit",
+                      lambda: (double, {"x": np.linspace(-1.0, 1.0, 7)}))
+        assert check_no_grad(case) == []
 
     def test_case_inputs_are_not_shared_between_runs(self):
         """check_case must not mutate the builder's arrays in place."""

@@ -1,0 +1,216 @@
+"""InferenceEngine vs the seed ``TimingPredictor.predict`` path.
+
+The acceptance bar from the issue: engine predictions must match the
+autograd path numerically (atol 1e-10) — cold, warm, batched, subset,
+MC, and after a serialization round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.infer import (
+    InferenceEngine,
+    Prediction,
+    load_predictor,
+    save_predictor,
+    weight_digest,
+)
+
+ATOL = 1e-10
+
+
+class TestPredictEquivalence:
+    def test_cold_and_warm_match_seed_path(self, model, designs,
+                                           reference):
+        engine = InferenceEngine(model)
+        for design in designs:
+            cold = engine.predict(design)
+            warm = engine.predict(design)
+            np.testing.assert_allclose(cold, reference[design.name],
+                                       atol=ATOL)
+            np.testing.assert_array_equal(cold, warm)
+
+    def test_endpoint_subset_matches(self, model, designs):
+        engine = InferenceEngine(model)
+        design = designs[0]
+        subset = np.array([0, 3, 1])
+        ref = model.predict(design, endpoint_subset=subset)
+        out = engine.predict(design, endpoint_subset=subset)
+        np.testing.assert_allclose(out, ref, atol=ATOL)
+
+    def test_mc_sampling_matches_seed_path(self, model, designs):
+        engine = InferenceEngine(model)
+        design = designs[0]
+        ref = model.predict(design, mc_samples=8, seed=7)
+        out = engine.predict(design, mc_samples=8, seed=7)
+        np.testing.assert_allclose(out, ref, atol=ATOL)
+
+    def test_non_transductive_matches(self, model, designs):
+        engine = InferenceEngine(model, transductive=False)
+        design = designs[0]
+        ref = model.predict(design, transductive=False)
+        out = engine.predict(design)
+        np.testing.assert_allclose(out, ref, atol=ATOL)
+
+    def test_uncertainty_matches_seed_path(self, model, designs):
+        engine = InferenceEngine(model)
+        design = designs[1]
+        ref_mean, ref_std = model.predict_with_uncertainty(
+            design, mc_samples=16, seed=3)
+        mean, std = engine.predict_with_uncertainty(
+            design, mc_samples=16, seed=3)
+        np.testing.assert_allclose(mean, ref_mean, atol=ATOL)
+        np.testing.assert_allclose(std, ref_std, atol=ATOL)
+
+    def test_cache_disabled_still_matches(self, model, designs,
+                                          reference):
+        engine = InferenceEngine(model, use_cache=False)
+        for design in designs:
+            np.testing.assert_allclose(engine.predict(design),
+                                       reference[design.name],
+                                       atol=ATOL)
+        assert engine.cache_stats() == {"hits": 0, "misses": 0,
+                                        "entries": 0}
+
+
+class TestPredictMany:
+    def test_fused_matches_per_design(self, model, designs, reference):
+        engine = InferenceEngine(model)
+        out = engine.predict_many(designs)
+        assert set(out) == {d.name for d in designs}
+        for design in designs:
+            pred = out[design.name]
+            assert isinstance(pred, Prediction)
+            assert pred.node == design.node
+            assert pred.num_endpoints == design.num_endpoints
+            np.testing.assert_allclose(pred.mean,
+                                       reference[design.name],
+                                       atol=ATOL)
+            assert pred.std is None
+
+    def test_mc_matches_per_design_seeded_predict(self, model, designs):
+        engine = InferenceEngine(model, use_cache=False)
+        out = engine.predict_many(designs, mc_samples=8, seed=5)
+        for design in designs:
+            ref = model.predict(design, mc_samples=8, seed=5)
+            np.testing.assert_allclose(out[design.name].mean, ref,
+                                       atol=ATOL)
+
+    def test_with_uncertainty(self, model, designs):
+        engine = InferenceEngine(model)
+        out = engine.predict_many(designs, mc_samples=16,
+                                  with_uncertainty=True, seed=2)
+        for design in designs:
+            ref_mean, ref_std = model.predict_with_uncertainty(
+                design, mc_samples=16, seed=2)
+            np.testing.assert_allclose(out[design.name].mean, ref_mean,
+                                       atol=ATOL)
+            np.testing.assert_allclose(out[design.name].std, ref_std,
+                                       atol=ATOL)
+
+    def test_uncertainty_without_samples_raises(self, model, designs):
+        engine = InferenceEngine(model)
+        with pytest.raises(ValueError):
+            engine.predict_many(designs, with_uncertainty=True)
+
+    def test_partial_cache_mixes_hit_and_fused_miss(self, model,
+                                                    designs, reference):
+        engine = InferenceEngine(model)
+        engine.predict(designs[0])  # warm one design only
+        before = engine.cache_stats()
+        out = engine.predict_many(designs)
+        after = engine.cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["entries"] == len(designs)
+        for design in designs:
+            np.testing.assert_allclose(out[design.name].mean,
+                                       reference[design.name],
+                                       atol=ATOL)
+
+
+class TestCacheBehaviour:
+    def test_warm_call_skips_extraction(self, model, designs,
+                                        monkeypatch):
+        engine = InferenceEngine(model)
+        design = designs[0]
+        engine.predict(design)
+
+        # NOTE: patching an attribute of the model would change the
+        # weight digest (the walk covers the module tree) and thus
+        # legitimately invalidate the cache — patch the engine-level
+        # kernel entry point instead.
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("extractor ran on a warm call")
+
+        import repro.infer.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "cnn_forward", boom)
+        engine.predict(design)  # served from cache
+        assert engine.cache_stats()["hits"] >= 1
+
+    def test_weight_change_invalidates(self, fresh_model, designs):
+        engine = InferenceEngine(fresh_model)
+        design = designs[0]
+        before = engine.predict(design)
+        tensor = next(p for p in fresh_model.parameters())
+        # repro-check: disable=tensor-data-mutation -- test simulates an external weight edit
+        tensor.data += 0.05
+        fresh_model.finalize_node_priors(designs)
+        after = engine.predict(design)
+        assert engine.cache_stats()["misses"] == 2
+        assert not np.allclose(before, after)
+        ref = fresh_model.predict(design)
+        np.testing.assert_allclose(after, ref, atol=ATOL)
+
+
+class TestSerialization:
+    def test_round_trip_predictions_identical(self, model, designs,
+                                              reference, tmp_path):
+        path = tmp_path / "model.npz"
+        save_predictor(model, path)
+        loaded = load_predictor(path)
+        assert weight_digest(loaded) == weight_digest(model)
+        engine = InferenceEngine(loaded)
+        for design in designs:
+            np.testing.assert_array_equal(engine.predict(design),
+                                          reference[design.name])
+
+    def test_round_trip_preserves_priors_and_population(self, model,
+                                                        designs,
+                                                        tmp_path):
+        path = tmp_path / "model.npz"
+        save_predictor(model, path)
+        loaded = load_predictor(path)
+        assert set(loaded._node_priors) == set(model._node_priors)
+        for node, (mu, lv) in model._node_priors.items():
+            np.testing.assert_array_equal(loaded._node_priors[node][0],
+                                          mu)
+            np.testing.assert_array_equal(loaded._node_priors[node][1],
+                                          lv)
+        np.testing.assert_array_equal(loaded._population["ud_sum"],
+                                      model._population["ud_sum"])
+        assert loaded._population["un_count"] == \
+            model._population["un_count"]
+
+    def test_untrained_model_refuses_to_save(self, designs, tmp_path):
+        from repro.model import TimingPredictor
+
+        raw = TimingPredictor(designs[0].graph.features.shape[1],
+                              seed=0)
+        with pytest.raises(RuntimeError, match="finalise|finalize"):
+            save_predictor(raw, tmp_path / "raw.npz")
+
+    def test_version_check(self, model, tmp_path):
+        import json
+
+        import numpy as np_
+
+        path = tmp_path / "model.npz"
+        save_predictor(model, path)
+        with np_.load(path, allow_pickle=False) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(str(arrays["meta"]))
+        meta["format_version"] = 99
+        arrays["meta"] = np_.array(json.dumps(meta))
+        np_.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_predictor(path)

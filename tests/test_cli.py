@@ -19,6 +19,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["flow", "arm9", "3nm"])
 
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "usbf_device", "aes_cipher_top",
+             "--uncertainty", "--mc-samples", "8", "--no-cache",
+             "--model", "model.npz"])
+        assert args.designs == ["usbf_device", "aes_cipher_top"]
+        assert args.uncertainty and args.no_cache
+        assert args.mc_samples == 8
+        assert args.model == "model.npz"
+
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict", "usbf_device"])
+        assert args.model is None
+        assert args.mc_samples == 0
+        assert not args.uncertainty and not args.no_cache
+        assert args.repeat == 1
+
+    def test_predict_requires_a_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict"])
+
+    def test_train_save_model_flag(self):
+        args = build_parser().parse_args(
+            ["train", "--save-model", "out.npz"])
+        assert args.save_model == "out.npz"
+
 
 class TestCommands:
     def test_libs(self, capsys):
