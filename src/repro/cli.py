@@ -125,40 +125,125 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _install_stop_handlers(trainer, state):
+    """Wire SIGINT/SIGTERM to a graceful stop at the next step boundary.
+
+    The first signal asks the trainer to finish the in-flight step,
+    write a final checkpoint and return; a second signal force-quits.
+    Returns the displaced handlers so the caller can restore them.
+    """
+    import signal
+
+    def handler(signum, frame):
+        if state.get("signum") is not None:
+            raise KeyboardInterrupt(
+                f"second signal {signum}; aborting without checkpoint")
+        state["signum"] = int(signum)
+        trainer.request_stop()
+        print(f"\nsignal {signum}: finishing the current step, writing "
+              "a checkpoint, then exiting (signal again to force-quit)")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
 def cmd_train(args) -> int:
+    import signal
+
     from .experiments import build_dataset
     from .experiments.datasets import DATASET_SCALE
     from .model import TimingPredictor
     from .obs import RunLogger, default_run_dir
-    from .train import OursTrainer, TrainConfig, r2_score
+    from .train import (
+        CHECKPOINT_NAME,
+        OursTrainer,
+        TrainConfig,
+        load_checkpoint,
+        r2_score,
+    )
     from .util import get_timings, reset_timings, timing_report
 
     # The timing registry feeds the run summary, so scope it to this
     # run: dataset-build phases (including worker-process phases merged
     # back by build_designs) and training phases both land in it.
     reset_timings()
-    run_dir = Path(args.run_dir) if args.run_dir \
-        else default_run_dir(tag=args.tag)
-    config = TrainConfig(steps=args.steps, seed=args.seed,
-                         fused=not args.no_fused)
-    with RunLogger(run_dir) as logger:
+    checkpoint = None
+    if args.resume:
+        # Resume: the checkpoint's TrainConfig is the source of truth —
+        # a resumed run must re-execute the original one bit-for-bit,
+        # so --steps/--seed/... on the resume invocation are ignored.
+        run_dir = Path(args.resume)
+        checkpoint = load_checkpoint(run_dir / CHECKPOINT_NAME)
+        config = TrainConfig(**checkpoint.config)
+        print(f"resuming {run_dir} from checkpoint at step "
+              f"{checkpoint.step}/{config.steps}")
+    else:
+        run_dir = Path(args.run_dir) if args.run_dir \
+            else default_run_dir(tag=args.tag)
+        config = TrainConfig(steps=args.steps, seed=args.seed,
+                             fused=not args.no_fused,
+                             checkpoint_every=args.checkpoint_every)
+    with RunLogger(run_dir, resume=checkpoint is not None,
+                   resume_step=None if checkpoint is None
+                   else checkpoint.step) as logger:
         dataset = build_dataset(workers=args.workers,
                                 use_cache=not args.no_cache,
                                 cache_dir=args.cache_dir)
-        logger.log_manifest(
-            config=config,
-            seeds={"model": args.seed, "train": config.seed,
-                   "data": DATASET_SCALE["seed"]},
-            extra={"dataset": {"scale": DATASET_SCALE["scale"],
-                               "resolution": DATASET_SCALE["resolution"],
-                               "workers": args.workers,
-                               "use_cache": not args.no_cache}},
-        )
-        model = TimingPredictor(dataset.in_features, seed=args.seed)
-        print(f"training ours for {args.steps} steps ...")
+        if checkpoint is None:
+            logger.log_manifest(
+                config=config,
+                seeds={"model": args.seed, "train": config.seed,
+                       "data": DATASET_SCALE["seed"]},
+                extra={"dataset": {"scale": DATASET_SCALE["scale"],
+                                   "resolution":
+                                       DATASET_SCALE["resolution"],
+                                   "workers": args.workers,
+                                   "use_cache": not args.no_cache}},
+            )
+        else:
+            logger.annotate_manifest(interrupted=False,
+                                     resumed_from_step=checkpoint.step)
+        model_seed = config.seed if checkpoint is not None else args.seed
+        model = TimingPredictor(dataset.in_features, seed=model_seed)
         trainer = OursTrainer(model, dataset.train, config, logger=logger)
-        history = trainer.fit()
+        if checkpoint is not None:
+            trainer.load_checkpoint(run_dir / CHECKPOINT_NAME)
+        else:
+            print(f"training ours for {config.steps} steps ...")
+
+        sig_state: dict = {}
+        previous_handlers = _install_stop_handlers(trainer, sig_state)
+        try:
+            history = trainer.fit()
+        finally:
+            for sig, old in previous_handlers.items():
+                signal.signal(sig, old)
+
         step_seconds = np.array([h["step_seconds"] for h in history])
+        if trainer.interrupted:
+            # Graceful shutdown: the final checkpoint is already on
+            # disk (fit wrote it before returning); leave a schema-valid
+            # summary and an interrupted marker, then exit nonzero so
+            # schedulers see the run as incomplete.
+            done = trainer._start_step
+            logger.log_summary(
+                steps=len(history),
+                total_seconds=float(step_seconds.sum()),
+                interrupted=True,
+                timings=get_timings(),
+            )
+            logger.annotate_manifest(interrupted=True,
+                                     interrupted_at_step=done)
+            print(f"interrupted after step {done}/{config.steps}; "
+                  f"checkpoint + telemetry in {run_dir}")
+            print(f"continue with `repro train --resume {run_dir}`")
+            return 128 + sig_state["signum"] if "signum" in sig_state \
+                else 1
         print(f"  {len(history)} steps, "
               f"{step_seconds.mean():.3f} s/step "
               f"({step_seconds.sum():.1f} s total)")
@@ -178,6 +263,8 @@ def cmd_train(args) -> int:
             final_weights=trainer.final_weights_source,
             timings=get_timings(),
         )
+        if checkpoint is not None:
+            logger.annotate_manifest(interrupted=False)
     if args.save_model:
         from .infer import save_predictor
 
@@ -337,6 +424,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-model", default=None, metavar="PATH",
                    help="write a serving checkpoint (weights + node "
                         "priors) for `repro predict --model`")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   metavar="N",
+                   help="write a crash-resume checkpoint every N steps "
+                        "(0 disables periodic checkpoints; a graceful "
+                        "SIGINT/SIGTERM stop always writes one)")
+    p.add_argument("--resume", default=None, metavar="RUNDIR",
+                   help="continue an interrupted run from "
+                        "RUNDIR/checkpoint.npz (reuses the original "
+                        "TrainConfig; ignores --steps/--seed/...)")
 
     p = sub.add_parser("predict",
                        help="serve predictions via the fast "

@@ -18,9 +18,10 @@ anything but time.
 from __future__ import annotations
 
 import os
+import time
 import zipfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..features import GateVocabulary
 from ..techlib import TechLibrary, make_asap7_library, make_sky130_library
@@ -106,8 +107,13 @@ class FlowCache:
 # ----------------------------------------------------------------------
 # Parallel cold builds
 # ----------------------------------------------------------------------
+#: Sleep hook for retry backoff; module-level so tests can stub it out
+#: instead of actually sleeping.
+_sleep: Callable[[float], None] = time.sleep
+
+
 class FlowBuildError(RuntimeError):
-    """One or more designs failed to build, even after the serial retry.
+    """One or more designs failed to build, even after every retry.
 
     ``failures`` is a list of ``(name, node, exception)`` triples, one
     per design that could not be built, so callers (and tracebacks) see
@@ -181,7 +187,8 @@ def build_designs(names: Sequence[Tuple[str, str]],
                   workers: int = 1, use_cache: bool = True,
                   cache_dir: Union[str, Path, None] = None,
                   libraries: Optional[Dict[str, TechLibrary]] = None,
-                  vocab: Optional[GateVocabulary] = None
+                  vocab: Optional[GateVocabulary] = None,
+                  retries: int = 2, retry_backoff: float = 0.5
                   ) -> List[DesignData]:
     """Build ``(name, node)`` designs, cached and optionally in parallel.
 
@@ -199,6 +206,16 @@ def build_designs(names: Sequence[Tuple[str, str]],
     libraries / vocab:
         Only used for serial builds; worker processes rebuild the
         (deterministic) defaults themselves.
+    retries:
+        Serial attempts per design *after* its first failure (pool or
+        serial) before the design is declared dead.  Transient failures
+        — a worker OOM-killed under memory pressure, a broken pool — are
+        the common case on shared schedulers, and a bounded
+        retry-with-backoff rides them out.  ``0`` fails fast.
+    retry_backoff:
+        Base of the exponential backoff between serial attempts:
+        attempt *k* (0-based) sleeps ``retry_backoff * 2**k`` seconds
+        first.  ``0`` retries immediately.
     """
     cache = FlowCache(cache_dir)
     results: Dict[int, DesignData] = {}
@@ -211,20 +228,21 @@ def build_designs(names: Sequence[Tuple[str, str]],
         else:
             misses.append(i)
 
+    pool_failed: Dict[int, BaseException] = {}
     if misses and workers > 1:
         tasks = {i: (names[i][0], names[i][1], scale, resolution, seed)
                  for i in misses}
-        done, failed = _run_parallel(tasks, workers)
+        done, pool_failed = _run_parallel(tasks, workers)
         for i, (design, worker_timings) in done.items():
             results[i] = design
             # Fold the worker's per-phase accumulators into this
             # process's registry: subprocess flow time would otherwise
             # vanish from every timing report.
             merge_timings(worker_timings)
-        # Anything that failed in the pool gets one serial retry below,
-        # which either recovers it (pool-specific failure) or pins the
-        # error on a named design.
-        misses_serial = sorted(failed)
+        # Anything that failed in the pool is retried serially below
+        # (with backoff), which either recovers it — pool-specific or
+        # transient failure — or pins the error on a named design.
+        misses_serial = sorted(pool_failed)
     else:
         misses_serial = misses
 
@@ -238,11 +256,26 @@ def build_designs(names: Sequence[Tuple[str, str]],
         errors: List[Tuple[str, str, BaseException]] = []
         for i in misses_serial:
             name, node = names[i]
-            try:
-                results[i] = flow.run(name, node)
-            # repro-check: disable=bare-except -- collects per-design causes to re-raise as one FlowBuildError naming every failed (name, node)
-            except Exception as exc:
-                errors.append((name, node, exc))
+            # A pool failure consumed the design's first attempt; a
+            # fresh serial miss gets its first attempt here.  Either
+            # way up to ``retries`` further attempts follow, with
+            # exponential backoff (base * 2^k after the k-th failure)
+            # in between.
+            failure: Optional[BaseException] = pool_failed.get(i)
+            failed_attempts = 1 if failure is not None else 0
+            while failed_attempts <= retries:
+                if failed_attempts and retry_backoff > 0:
+                    _sleep(retry_backoff * (2 ** (failed_attempts - 1)))
+                try:
+                    results[i] = flow.run(name, node)
+                    failure = None
+                    break
+                # repro-check: disable=bare-except -- collects per-design causes to re-raise as one FlowBuildError naming every failed (name, node)
+                except Exception as exc:
+                    failure = exc
+                    failed_attempts += 1
+            if failure is not None:
+                errors.append((name, node, failure))
         if errors:
             raise FlowBuildError(errors)
 

@@ -9,27 +9,43 @@ the whole serving state — constructor config, every tensor (including
 ablation-frozen ones), population sums/counts, node priors — in one
 ``.npz`` with no pickled objects, so ``repro train --save-model`` and
 ``repro predict --model`` compose into a train-once/serve-many flow.
+
+Persistence is crash-safe: :func:`save_predictor` stages the archive
+and renames it into place (see
+:func:`repro.nn.serialization.atomic_savez`), so a crash mid-save can
+never leave a truncated model file, and the checkpoint lands at
+*exactly* the requested path — numpy's silent ``.npz`` suffix append
+(saving to ``model`` producing ``model.npz``) no longer applies.
+:func:`load_predictor` stages every archive entry and validates the
+full set *before* touching a model, raising one typed
+:class:`~repro.nn.CheckpointError` naming the offending key; a
+checkpoint that fails mid-load cannot yield a half-mutated predictor.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Union
 
 import numpy as np
 
 from ..model import TimingPredictor
+from ..nn.serialization import CheckpointError, atomic_savez
 from .cache import named_tensors
 
-__all__ = ["load_predictor", "save_predictor"]
+__all__ = ["CheckpointError", "load_predictor", "save_predictor"]
 
 _FORMAT_VERSION = 1
 
 
 def save_predictor(model: TimingPredictor,
-                   path: Union[str, Path]) -> None:
+                   path: Union[str, Path]) -> Path:
     """Write a trained predictor (weights + finalised priors) to ``path``.
+
+    Atomic (temp file + ``os.replace``) and suffix-exact: the file
+    lands at ``path`` verbatim.  Returns the written path.
 
     Raises
     ------
@@ -61,51 +77,96 @@ def save_predictor(model: TimingPredictor,
     for node, (mu, log_var) in priors.items():
         arrays[f"prior::mu::{node}"] = mu
         arrays[f"prior::log_var::{node}"] = log_var
-    np.savez_compressed(str(path), **arrays)
+    return atomic_savez(path, arrays)
+
+
+def _resolve_checkpoint_path(path: Union[str, Path]) -> Path:
+    """``path``, or its legacy ``.npz``-suffixed sibling if only that
+    exists (checkpoints written before the atomic writer pinned the
+    exact name)."""
+    path = Path(path)
+    if not path.is_file():
+        legacy = path.with_name(path.name + ".npz")
+        if legacy.is_file():
+            return legacy
+    return path
 
 
 def load_predictor(path: Union[str, Path]) -> TimingPredictor:
-    """Rebuild a serving-ready predictor saved by :func:`save_predictor`."""
-    with np.load(str(path), allow_pickle=False) as archive:
-        meta = json.loads(str(archive["meta"]))
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported predictor checkpoint version "
-                f"{meta.get('format_version')!r} in {path}"
+    """Rebuild a serving-ready predictor saved by :func:`save_predictor`.
+
+    Raises
+    ------
+    CheckpointError
+        If the archive is unreadable, from an unsupported version, or
+        missing/mismatching any required key — diagnosed *before* the
+        returned model exists, so no half-loaded predictor can escape.
+    """
+    path = _resolve_checkpoint_path(path)
+    try:
+        with np.load(str(path), allow_pickle=False) as archive:
+            staged = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"unreadable predictor checkpoint {path}: {exc}") from exc
+
+    def require(key: str) -> np.ndarray:
+        if key not in staged:
+            raise CheckpointError(
+                f"predictor checkpoint {path} missing key {key!r}")
+        return staged[key]
+
+    try:
+        meta = json.loads(str(require("meta")))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"predictor checkpoint {path} has corrupt 'meta' JSON: "
+            f"{exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported predictor checkpoint version "
+            f"{meta.get('format_version')!r} in {path}"
+        )
+
+    # Stage the serving state fully before any model is built, so a
+    # missing key can never abandon a partially populated predictor.
+    population = {
+        "ud_sum": require("pop::ud_sum"),
+        "ud_count": float(require("pop::ud_count")),
+        "un_sum": {}, "un_count": {},
+    }
+    priors = {}
+    for key in sorted(staged):
+        if key.startswith("pop::un_sum::"):
+            node = key[len("pop::un_sum::"):]
+            population["un_sum"][node] = staged[key]
+            population["un_count"][node] = \
+                float(require(f"pop::un_count::{node}"))
+        elif key.startswith("prior::mu::"):
+            node = key[len("prior::mu::"):]
+            priors[node] = (staged[key],
+                            require(f"prior::log_var::{node}"))
+
+    model = TimingPredictor(**meta["init_config"])
+    tensors = dict(named_tensors(model))
+    for key in sorted(staged):
+        if not key.startswith("param::"):
+            continue
+        name = key[len("param::"):]
+        if name not in tensors:
+            raise CheckpointError(
+                f"predictor checkpoint {path} parameter {name!r} does "
+                "not exist in the rebuilt model")
+        value = staged[key]
+        if tensors[name].data.shape != value.shape:
+            raise CheckpointError(
+                f"predictor checkpoint {path} key {name!r} has shape "
+                f"{value.shape}, model expects {tensors[name].data.shape}"
             )
-        model = TimingPredictor(**meta["init_config"])
-        tensors = dict(named_tensors(model))
-        for key in archive.files:
-            if not key.startswith("param::"):
-                continue
-            name = key[len("param::"):]
-            if name not in tensors:
-                raise KeyError(f"checkpoint parameter {name!r} does not "
-                               "exist in the rebuilt model")
-            value = archive[key]
-            if tensors[name].data.shape != value.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: "
-                    f"{tensors[name].data.shape} vs {value.shape}"
-                )
+    for key, value in staged.items():
+        if key.startswith("param::"):
             # repro-check: disable=tensor-data-mutation -- checkpoint load writes leaf tensors before any graph exists
-            tensors[name].data[...] = value
-        population = {
-            "ud_sum": archive["pop::ud_sum"],
-            "ud_count": float(archive["pop::ud_count"]),
-            "un_sum": {}, "un_count": {},
-        }
-        priors = {}
-        for key in archive.files:
-            if key.startswith("pop::un_sum::"):
-                node = key[len("pop::un_sum::"):]
-                population["un_sum"][node] = archive[key]
-                population["un_count"][node] = \
-                    float(archive[f"pop::un_count::{node}"])
-            elif key.startswith("prior::mu::"):
-                node = key[len("prior::mu::"):]
-                priors[node] = (archive[key],
-                                archive[f"prior::log_var::{node}"])
+            tensors[key[len("param::"):]].data[...] = value
     model._population = population
     model._node_priors = priors
     return model

@@ -34,7 +34,8 @@ from .schedulers import (
     StepDecay,
     WarmupWrapper,
 )
-from .serialization import load_module, save_module
+from .serialization import (CheckpointError, atomic_savez, load_module,
+                            save_module)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -74,6 +75,8 @@ __all__ = [
     "gather_rows",
     "init",
     "is_grad_enabled",
+    "CheckpointError",
+    "atomic_savez",
     "load_module",
     "no_grad",
     "save_module",

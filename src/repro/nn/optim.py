@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +24,55 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # -- state dict ----------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of hyper-parameters and per-parameter buffers.
+
+        Scalars plus lists of ndarrays (position-aligned with
+        ``self.parameters``); no Tensors, so the dict is directly
+        persistable.  ``kind`` records the concrete class so a snapshot
+        can never be loaded into the wrong optimiser.
+        """
+        return {"kind": type(self).__name__}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Raises ``ValueError`` on a kind mismatch or a buffer whose
+        length/shape disagrees with the current parameter list, and
+        ``KeyError`` naming any missing field — always *before* any
+        internal state is mutated.
+        """
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state dict is for {kind!r}, cannot load "
+                f"into {type(self).__name__}"
+            )
+
+    def _checked_buffers(self, state: Mapping[str, Any], key: str
+                         ) -> List[Optional[np.ndarray]]:
+        """Validate + copy one per-parameter buffer list from ``state``."""
+        buffers = state[key]
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer buffer {key!r} has {len(buffers)} entries "
+                f"for {len(self.parameters)} parameters"
+            )
+        out: List[Optional[np.ndarray]] = []
+        for i, (buf, p) in enumerate(zip(buffers, self.parameters)):
+            if buf is None:
+                out.append(None)
+                continue
+            buf = np.asarray(buf)
+            if buf.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer buffer {key}[{i}] has shape {buf.shape}, "
+                    f"parameter has {p.data.shape}"
+                )
+            out.append(buf.copy())
+        return out
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Scale gradients so their global L2 norm is at most ``max_norm``.
@@ -68,6 +117,24 @@ class SGD(Optimizer):
                 grad = self._velocity[i]
             p.data -= self.lr * grad
 
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            lr=float(self.lr), momentum=float(self.momentum),
+            weight_decay=float(self.weight_decay),
+            velocity=[None if v is None else v.copy()
+                      for v in self._velocity],
+        )
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        super().load_state_dict(state)
+        velocity = self._checked_buffers(state, "velocity")
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = velocity
+
 
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba, 2015)."""
@@ -99,3 +166,29 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            lr=float(self.lr), beta1=float(self.beta1),
+            beta2=float(self.beta2), eps=float(self.eps),
+            weight_decay=float(self.weight_decay), t=int(self._t),
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        super().load_state_dict(state)
+        m = self._checked_buffers(state, "m")
+        v = self._checked_buffers(state, "v")
+        if any(buf is None for buf in m + v):
+            raise ValueError("Adam moment buffers cannot be None")
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._t = int(state["t"])
+        self._m = m
+        self._v = v

@@ -7,7 +7,8 @@ with per-design metrics plus the merged phase-timing registry.
 repro.obs RUNDIR`` validates one against the schema (used by CI).
 """
 
-from .logger import NullRunLogger, RunLogger, build_manifest, default_run_dir
+from .logger import (NullRunLogger, RunLogger, build_manifest,
+                     default_run_dir, read_records, repair_jsonl_tail)
 from .report import load_run, manifest_diff, render_loss_curve, render_run
 from .schema import (
     RECORD_SCHEMAS,
@@ -25,6 +26,8 @@ __all__ = [
     "build_manifest",
     "default_run_dir",
     "load_run",
+    "read_records",
+    "repair_jsonl_tail",
     "manifest_diff",
     "render_loss_curve",
     "render_run",

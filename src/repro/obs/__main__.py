@@ -33,6 +33,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if (args.run_dir is None) == (args.bench is None):
         parser.error("give exactly one of RUNDIR or --bench JSON")
 
+    warnings = []
     if args.bench is not None:
         try:
             payload = json.loads(
@@ -43,9 +44,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         errors = validate_bench_inference(payload)
         target = args.bench
     else:
-        errors = validate_run_dir(args.run_dir)
+        errors = validate_run_dir(args.run_dir, warnings=warnings)
         target = args.run_dir
 
+    # A torn trailing step line is a crash artifact, not corruption:
+    # report it, but do not fail the run over it.
+    for warning in warnings:
+        print(f"{target}: warning: {warning}")
     for error in errors:
         print(f"{target}: {error}")
     if errors:

@@ -22,17 +22,87 @@ attribute lookups per step, no I/O.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 import time
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from .schema import validate_manifest, validate_record, validate_summary
 
 __all__ = ["NullRunLogger", "RunLogger", "build_manifest",
-           "default_run_dir"]
+           "default_run_dir", "read_records", "repair_jsonl_tail"]
+
+
+def repair_jsonl_tail(path: Union[str, Path]) -> Optional[str]:
+    """Truncate a torn (partially written) final line off a JSONL file.
+
+    A process killed mid-``write`` can leave a trailing fragment — a
+    line without its newline, or half a JSON object.  This drops that
+    fragment in place (everything up to the last newline survives) and
+    returns the discarded text, or None when the file was clean.  Only
+    the *final* line is ever touched; an undecodable line in the middle
+    of the file is real corruption and is left for the schema validator
+    to report.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    data = path.read_bytes()
+    if not data:
+        return None
+    keep = len(data)
+    if not data.endswith(b"\n"):
+        keep = data.rfind(b"\n") + 1  # 0 when there is no newline at all
+    else:
+        # Ends in a newline; the last line is complete but may still be
+        # half-written JSON if the crash hit between two buffered
+        # writes.  Only drop it when it does not parse.
+        body = data[:-1]
+        start = body.rfind(b"\n") + 1
+        last = data[start:].strip()
+        if last:
+            try:
+                json.loads(last.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                keep = start
+    if keep == len(data):
+        return None
+    fragment = data[keep:].decode("utf-8", errors="replace")
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return fragment
+
+
+def read_records(path: Union[str, Path]
+                 ) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+    """Parse a steps.jsonl file, tolerating a torn trailing line.
+
+    Returns ``(records, torn_fragment)``: every line that parses as
+    JSON, plus the raw text of an undecodable *final* line (None when
+    the stream is clean).  An undecodable line elsewhere raises — that
+    is corruption, not a crash artifact.
+    """
+    path = Path(path)
+    lines = path.read_text("utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                return records, line
+            raise ValueError(
+                f"{path}:{lineno + 1}: undecodable record mid-stream "
+                f"({exc})"
+            ) from exc
+    return records, None
 
 
 def default_run_dir(tag: str = "train",
@@ -143,14 +213,51 @@ class RunLogger:
     run_dir:
         Directory for this run's artifacts; created (with parents) if
         missing.  One logger per run — the step stream is truncated on
-        construction.
+        construction unless ``resume`` is set.
+    resume:
+        Reopen an existing run for continuation: the step stream is
+        opened in *append* mode after a torn trailing line (a crash
+        artifact) is repaired away, and the existing manifest survives.
+    resume_step:
+        When resuming from a checkpoint taken at step *k*, records the
+        crashed process wrote **after** that checkpoint (``step >= k``)
+        are dropped before appending — the resumed run re-executes and
+        re-logs those steps, and keeping both copies would corrupt the
+        stream.
     """
 
-    def __init__(self, run_dir: Union[str, Path]) -> None:
+    def __init__(self, run_dir: Union[str, Path], resume: bool = False,
+                 resume_step: Optional[int] = None) -> None:
         self.run_dir = Path(run_dir)
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        self._steps = open(self.run_dir / "steps.jsonl", "w",
-                           encoding="utf-8")
+        steps_path = self.run_dir / "steps.jsonl"
+        mode = "a" if resume else "w"
+        if resume and steps_path.is_file():
+            repair_jsonl_tail(steps_path)
+            if resume_step is not None:
+                self._drop_records_from(steps_path, int(resume_step))
+        self._steps = open(steps_path, mode, encoding="utf-8")
+
+    @staticmethod
+    def _drop_records_from(path: Path, start_step: int) -> int:
+        """Atomically rewrite ``path`` without records at/after a step.
+
+        Records carrying no ``step`` field (events) are kept.  Returns
+        the number of dropped records.
+        """
+        records, _ = read_records(path)
+        kept = [r for r in records
+                if not isinstance(r.get("step"), int)
+                or r["step"] < start_step]
+        dropped = len(records) - len(kept)
+        if dropped:
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(
+                "".join(json.dumps(r, sort_keys=True) + "\n"
+                        for r in kept),
+                encoding="utf-8")
+            os.replace(tmp, path)
+        return dropped
 
     # -- artifacts ------------------------------------------------------
     def log_manifest(self, config: Any = None,
@@ -197,6 +304,22 @@ class RunLogger:
         self._write_json("summary.json", summary)
         return summary
 
+    def annotate_manifest(self, **fields: Any) -> Dict[str, Any]:
+        """Merge extra top-level fields into an existing manifest.json.
+
+        Used for after-the-fact lifecycle markers: ``interrupted: true``
+        when a signal stopped the run, ``resumed_from_step`` when a
+        later invocation picked it back up.  The rewrite is atomic, so
+        a crash here cannot destroy the manifest either.
+        """
+        path = self.run_dir / "manifest.json"
+        manifest: Dict[str, Any] = {}
+        if path.is_file():
+            manifest = json.loads(path.read_text("utf-8"))
+        manifest.update({str(k): v for k, v in fields.items()})
+        self._write_json("manifest.json", manifest)
+        return manifest
+
     # -- plumbing -------------------------------------------------------
     def _emit(self, record: Dict[str, Any]) -> None:
         problems = validate_record(record)
@@ -206,9 +329,14 @@ class RunLogger:
         self._steps.flush()
 
     def _write_json(self, name: str, payload: Mapping[str, Any]) -> None:
+        # Temp-file + rename: a crash mid-write must never leave a
+        # truncated manifest.json/summary.json — a resumed run needs
+        # both intact.
         path = self.run_dir / name
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                        + "\n", encoding="utf-8")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                       + "\n", encoding="utf-8")
+        os.replace(tmp, path)
 
     def close(self) -> None:
         if not self._steps.closed:

@@ -111,17 +111,23 @@ def manifest_diff(a: Mapping[str, Any], b: Mapping[str, Any],
 
 
 def load_run(run_dir: Union[str, Path]) -> Dict[str, Any]:
-    """Parse a run directory's artifacts (missing ones load as empty)."""
+    """Parse a run directory's artifacts (missing ones load as empty).
+
+    A torn trailing line in ``steps.jsonl`` (crash artifact) is
+    tolerated: every completed record still loads, and the fragment is
+    surfaced as ``torn_tail`` so the report can mention it.
+    """
+    from .logger import read_records
+
     run_dir = Path(run_dir)
-    out: Dict[str, Any] = {"manifest": {}, "records": [], "summary": {}}
+    out: Dict[str, Any] = {"manifest": {}, "records": [], "summary": {},
+                           "torn_tail": None}
     manifest = run_dir / "manifest.json"
     if manifest.is_file():
         out["manifest"] = json.loads(manifest.read_text("utf-8"))
     steps = run_dir / "steps.jsonl"
     if steps.is_file():
-        out["records"] = [json.loads(line) for line
-                          in steps.read_text("utf-8").splitlines()
-                          if line.strip()]
+        out["records"], out["torn_tail"] = read_records(steps)
     summary = run_dir / "summary.json"
     if summary.is_file():
         out["summary"] = json.loads(summary.read_text("utf-8"))
@@ -175,6 +181,18 @@ def render_run(run_dir: Union[str, Path],
                 f"{k}={v}" for k, v in sorted(seeds.items())))
     else:
         sections.append("(no manifest.json)")
+
+    # -- crash/resume lifecycle ---------------------------------------
+    if manifest.get("interrupted"):
+        sections.append("status: INTERRUPTED — resumable with "
+                        f"`repro train --resume {run_dir}`")
+    if manifest.get("resumed_from_step") is not None:
+        sections.append(
+            f"resumed: from checkpoint at step "
+            f"{manifest['resumed_from_step']}")
+    if run.get("torn_tail"):
+        sections.append("note: steps.jsonl has a torn trailing line "
+                        "(crash artifact; repaired on --resume)")
 
     # -- loss curves ---------------------------------------------------
     if steps:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "BENCH_INFERENCE_SCHEMA",
@@ -229,10 +229,22 @@ def validate_bench_inference(payload: Any) -> List[str]:
     return errors
 
 
-def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
-    """Every schema problem in a run directory ([] when fully valid)."""
+def validate_run_dir(run_dir: Union[str, Path],
+                     warnings: Optional[List[str]] = None) -> List[str]:
+    """Every schema problem in a run directory ([] when fully valid).
+
+    A torn *trailing* line in ``steps.jsonl`` — the signature a crashed
+    writer leaves behind, and exactly what ``--resume`` repairs — is
+    not an error: every completed record before it is still validated,
+    and the tear is reported into ``warnings`` (when a list is given)
+    so ``python -m repro.obs`` can surface it without failing the run.
+    An undecodable line anywhere *else* is real corruption and stays an
+    error.
+    """
     run_dir = Path(run_dir)
     errors: List[str] = []
+    if warnings is None:
+        warnings = []
 
     manifest_path = run_dir / "manifest.json"
     if not manifest_path.is_file():
@@ -249,14 +261,23 @@ def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
     if not steps_path.is_file():
         errors.append("steps.jsonl missing")
     else:
-        for lineno, line in enumerate(
-                steps_path.read_text("utf-8").splitlines(), start=1):
+        lines = steps_path.read_text("utf-8").splitlines()
+        while lines and not lines[-1].strip():
+            lines.pop()
+        for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                errors.append(f"steps.jsonl:{lineno}: not JSON ({exc})")
+                if lineno == len(lines):
+                    warnings.append(
+                        f"steps.jsonl:{lineno}: torn trailing line "
+                        f"(crash artifact; repaired on --resume): "
+                        f"{line[:60]!r}"
+                    )
+                else:
+                    errors.append(f"steps.jsonl:{lineno}: not JSON ({exc})")
                 continue
             errors.extend(f"steps.jsonl:{lineno}: {problem}"
                           for problem in validate_record(record))

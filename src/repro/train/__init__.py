@@ -1,6 +1,13 @@
 """Training loops, baseline strategies, and metrics."""
 
 from .batching import sample_endpoints, split_by_node
+from .checkpoint import (
+    CHECKPOINT_NAME,
+    CheckpointError,
+    TrainingCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .fused import FusedDesignBatch, merge_pin_graphs, slice_ranges
 from .metrics import evaluate_per_design, mae, r2_score, rmse
 from .strategies import (
@@ -16,9 +23,14 @@ from .trainer import OursTrainer, TrainConfig, train_ours
 
 __all__ = [
     "BASELINE_STRATEGIES",
+    "CHECKPOINT_NAME",
+    "CheckpointError",
     "FusedDesignBatch",
     "OursTrainer",
     "TrainConfig",
+    "TrainingCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "evaluate_per_design",
     "merge_pin_graphs",
     "slice_ranges",

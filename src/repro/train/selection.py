@@ -12,7 +12,7 @@ the Table-2 comparison fair.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -63,6 +63,33 @@ class HoldoutSelector:
     def validation_pool(self, design: DesignData) -> np.ndarray:
         return self._val_pool[design.name]
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """The held-out endpoint indices, keyed by design name.
+
+        The split is deterministic in ``(designs, fraction, seed)``, so
+        this is persisted into training checkpoints only as a
+        *fingerprint*: on resume the rebuilt selector must produce the
+        same pools, or the holdout/train separation (and with it resume
+        determinism) has silently changed.
+        """
+        return {name: pool.copy()
+                for name, pool in sorted(self._val_pool.items())}
+
+    def verify_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Raise ``ValueError`` unless ``state`` matches this selector."""
+        mine = self.state_dict()
+        if sorted(mine) != sorted(state):
+            raise ValueError(
+                f"holdout designs changed: checkpoint has "
+                f"{sorted(state)}, current split has {sorted(mine)}"
+            )
+        for name, pool in mine.items():
+            if not np.array_equal(pool, np.asarray(state[name])):
+                raise ValueError(
+                    f"holdout pool for design {name!r} does not match "
+                    "the checkpoint (different dataset or seed?)"
+                )
+
     def validate(self, predict: Callable[[DesignData, np.ndarray],
                                          np.ndarray]) -> float:
         """Mean held-out R^2 across target designs.
@@ -98,3 +125,22 @@ class CheckpointKeeper:
         """Load the best snapshot back into the module (if any)."""
         if self.best_state is not None:
             self.module.load_state_dict(self.best_state)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Persistable snapshot (best score + best parameter arrays)."""
+        return {
+            "best_score": float(self.best_score),
+            "best_state": None if self.best_state is None else {
+                name: value.copy()
+                for name, value in self.best_state.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (crash-resume path)."""
+        best_state = state["best_state"]
+        self.best_score = float(state["best_score"])
+        self.best_state = None if best_state is None else {
+            name: np.asarray(value).copy()
+            for name, value in best_state.items()
+        }

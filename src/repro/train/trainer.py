@@ -12,18 +12,22 @@ Equation 10), so no persistent node statistics are needed.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..flow import DesignData
 from ..model import TimingPredictor, cmd_loss, node_contrastive_loss
 from ..model.gnn import reference_sweep
-from ..nn import Adam, Tensor, concatenate
+from ..nn import Adam, CheckpointError, Tensor, concatenate
 from ..obs import NullRunLogger, RunLogger
 from ..util import timed
 from .batching import sample_endpoints, sample_from_pool, split_by_node
+from .checkpoint import (CHECKPOINT_NAME, TrainingCheckpoint, restore_rng,
+                         save_checkpoint)
+from .checkpoint import load_checkpoint as read_checkpoint
 from .fused import FusedDesignBatch, slice_ranges
 from .selection import CheckpointKeeper, HoldoutSelector
 
@@ -62,12 +66,20 @@ class TrainConfig:
     #: designs) vs. the legacy per-design loop.  Numerically equivalent;
     #: the loop is kept as the reference/benchmark baseline.
     fused: bool = True
+    #: Write a crash-resume checkpoint every N completed steps
+    #: (``0`` disables periodic checkpoints; a graceful-stop checkpoint
+    #: is still written when a stop is requested mid-run).
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.swa_fraction <= 1.0:
             raise ValueError(
                 f"swa_fraction must be in (0, 1] (1.0 disables SWA), "
                 f"got {self.swa_fraction}"
+            )
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
             )
 
 
@@ -87,15 +99,22 @@ class OursTrainer:
         Optional :class:`~repro.obs.RunLogger`; every step, validation
         event and the final-weights decision are streamed to it.  The
         default records nothing.
+    checkpoint_path:
+        Where :meth:`save_checkpoint` writes; defaults to
+        ``<logger.run_dir>/checkpoint.npz`` when the logger has a run
+        directory, else checkpointing is unavailable until a path is
+        given.
     """
 
     def __init__(self, model: TimingPredictor,
                  designs: Sequence[DesignData],
                  config: Optional[TrainConfig] = None,
-                 logger: Optional[RunLogger] = None) -> None:
+                 logger: Optional[RunLogger] = None,
+                 checkpoint_path: Union[str, Path, None] = None) -> None:
         self.model = model
         self.config = config or TrainConfig()
         self.logger = logger if logger is not None else NullRunLogger()
+        self._checkpoint_path = checkpoint_path
         self.source, self.target = split_by_node(designs)
         if not self.source or not self.target:
             raise ValueError(
@@ -138,6 +157,151 @@ class OursTrainer:
         # across steps (only endpoint subsets change), so it is built
         # once, lazily, and its GNN level plan is memoised on it.
         self._fused_batch: Optional[FusedDesignBatch] = None
+        # Crash-resume lifecycle state.  ``keeper`` lives on the
+        # instance (not as a fit() local) so a checkpoint can capture
+        # and restore the best-validation snapshot; the SWA accumulators
+        # move here for the same reason.  ``_start_step`` is the absolute
+        # step fit() resumes from (0 = fresh run / next sequential fit),
+        # and ``interrupted`` reports whether the last fit() ended on a
+        # requested stop instead of running to completion.
+        self.keeper: Optional[CheckpointKeeper] = \
+            CheckpointKeeper(self.model) if self.selector else None
+        self._swa_sum: Optional[List[np.ndarray]] = None
+        self._swa_count = 0
+        self._start_step = 0
+        self._stop_requested = False
+        self.interrupted = False
+
+    # -- crash-safe lifecycle ------------------------------------------
+    def request_stop(self) -> None:
+        """Ask fit() to stop gracefully at the next step boundary.
+
+        Safe to call from a signal handler: it only flips a flag.  The
+        in-flight step completes, a final checkpoint is written (when a
+        checkpoint path is available), ``interrupted`` is set, and
+        ``fit`` returns without the final-weights selection — the run
+        is meant to be resumed, not served.
+        """
+        self._stop_requested = True
+
+    def checkpoint_path(self) -> Optional[Path]:
+        """Where checkpoints go: explicit path, else the logger's run dir."""
+        if self._checkpoint_path is not None:
+            return Path(self._checkpoint_path)
+        run_dir = getattr(self.logger, "run_dir", None)
+        return Path(run_dir) / CHECKPOINT_NAME if run_dir else None
+
+    def save_checkpoint(self, step: Optional[int] = None,
+                        path: Union[str, Path, None] = None) -> Path:
+        """Atomically write a resumable snapshot of the run.
+
+        ``step`` is the number of completed steps (defaults to the
+        history length, which is correct for single-``fit`` runs).
+        """
+        target = Path(path) if path is not None else self.checkpoint_path()
+        if target is None:
+            raise ValueError(
+                "no checkpoint path: pass one, construct the trainer "
+                "with checkpoint_path=, or use a RunLogger with a run "
+                "directory"
+            )
+        return save_checkpoint(
+            target,
+            step=len(self.history) if step is None else int(step),
+            config=asdict(self.config),
+            model=self.model,
+            optimizer=self.optimizer,
+            trainer_rng=self.rng,
+            noise_rng=self.model.readout._noise_rng,
+            keeper=self.keeper,
+            selector=self.selector,
+            swa_sum=self._swa_sum,
+            swa_count=self._swa_count,
+            history=self.history,
+        )
+
+    def load_checkpoint(self, path: Union[str, Path]
+                        ) -> TrainingCheckpoint:
+        """Restore a :meth:`save_checkpoint` snapshot; resume via fit().
+
+        Validates everything (config compatibility, tensor names and
+        shapes, optimizer buffers, holdout fingerprint) *before*
+        mutating any state, so a bad checkpoint raises one
+        :class:`~repro.nn.CheckpointError` and leaves the trainer
+        untouched.  After a successful load, ``fit()`` continues from
+        the recorded step and reproduces the uninterrupted run
+        bit-for-bit.
+        """
+        from ..infer.cache import named_tensors
+
+        ckpt = read_checkpoint(path)
+        current = asdict(self.config)
+        # checkpoint_every may legitimately differ between the original
+        # and the resumed invocation; everything else changes the math.
+        diffs = sorted(
+            key for key in set(current) | set(ckpt.config)
+            if key != "checkpoint_every"
+            and current.get(key) != ckpt.config.get(key)
+        )
+        if diffs:
+            raise CheckpointError(
+                f"checkpoint {path} was written under a different "
+                f"TrainConfig (differing fields: {', '.join(diffs)}); "
+                "resume with the original configuration"
+            )
+        tensors = dict(named_tensors(self.model))
+        missing = sorted(set(tensors) - set(ckpt.params))
+        unexpected = sorted(set(ckpt.params) - set(tensors))
+        if missing or unexpected:
+            offending = (missing or unexpected)[0]
+            raise CheckpointError(
+                f"checkpoint {path} parameter set mismatch at key "
+                f"{offending!r} (missing={missing}, "
+                f"unexpected={unexpected})"
+            )
+        for name, value in ckpt.params.items():
+            if tensors[name].data.shape != value.shape:
+                raise CheckpointError(
+                    f"checkpoint {path} key {name!r} has shape "
+                    f"{value.shape}, model expects "
+                    f"{tensors[name].data.shape}"
+                )
+        if (ckpt.holdout is None) != (self.selector is None):
+            raise CheckpointError(
+                f"checkpoint {path} holdout state mismatch: checkpoint "
+                f"{'has' if ckpt.holdout else 'lacks'} a holdout split, "
+                f"trainer {'has' if self.selector else 'lacks'} one"
+            )
+        if self.selector is not None:
+            try:
+                self.selector.verify_state(ckpt.holdout)
+            except ValueError as exc:
+                raise CheckpointError(
+                    f"checkpoint {path} holdout fingerprint mismatch: "
+                    f"{exc}") from exc
+
+        # All validated — apply.
+        for name, value in ckpt.params.items():
+            # repro-check: disable=tensor-data-mutation -- checkpoint load writes leaf tensors between runs
+            tensors[name].data[...] = value
+        try:
+            self.optimizer.load_state_dict(ckpt.optimizer)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} optimizer state invalid: {exc}"
+            ) from exc
+        restore_rng(self.rng, ckpt.rng_states["train"])
+        restore_rng(self.model.readout._noise_rng,
+                    ckpt.rng_states["noise"])
+        if self.keeper is not None and ckpt.keeper is not None:
+            self.keeper.load_state_dict(ckpt.keeper)
+        self._swa_sum = None if ckpt.swa_sum is None \
+            else [acc.copy() for acc in ckpt.swa_sum]
+        self._swa_count = ckpt.swa_count
+        self.history = [dict(record) for record in ckpt.history]
+        self._start_step = ckpt.step
+        self.interrupted = False
+        return ckpt
 
     # ------------------------------------------------------------------
     def _sample_subsets(self) -> List[np.ndarray]:
@@ -275,42 +439,90 @@ class OursTrainer:
 
         After the last step the node-level priors p(W | N) are finalised
         on the training designs, which is what inference uses (Eq. 7).
+
+        **Crash safety.**  With ``config.checkpoint_every > 0`` (and a
+        resolvable checkpoint path — see :meth:`checkpoint_path`) a
+        resumable snapshot is written atomically every that-many
+        completed steps.  A :meth:`request_stop` (the CLI wires SIGINT/
+        SIGTERM to it) finishes the in-flight step, writes one final
+        checkpoint, sets ``interrupted`` and returns early — skipping
+        the final-weights selection, because the run is meant to be
+        resumed.  After :meth:`load_checkpoint`, ``fit`` continues from
+        the recorded step and the completed run is bit-for-bit
+        identical to an uninterrupted one.
         """
         steps = steps or self.config.steps
         warmup_steps = int(self.config.warmup_fraction * steps)
         swa_start = int(self.config.swa_fraction * steps)
         base_lr = self.config.lr
         params = self.model.parameters()
-        keeper = CheckpointKeeper(self.model) if self.selector else None
-        swa_sum = None
-        swa_count = 0
+        start_step = self._start_step
+        if start_step == 0:
+            # Fresh run (or the next sequential fit of a multi-stage
+            # recipe): SWA accumulators and best-checkpoint tracking
+            # belong to one loop only.  A resumed fit keeps the state
+            # load_checkpoint restored.
+            self._swa_sum = None
+            self._swa_count = 0
+            if self.keeper is not None:
+                self.keeper = CheckpointKeeper(self.model)
+        elif start_step >= steps:
+            raise ValueError(
+                f"checkpoint is at step {start_step} but the run is "
+                f"only {steps} steps; nothing to resume"
+            )
+        keeper = self.keeper
         step_offset = len(self.history)
-        for t in range(steps):
+        ckpt_path = self.checkpoint_path()
+        self.interrupted = False
+        self._stop_requested = False
+        for t in range(start_step, steps):
             # Linear learning-rate decay stabilises the final priors.
             decay = self.config.lr_decay
             self.optimizer.lr = base_lr * (1.0 - (1.0 - decay) * t / steps)
             record = self.step(warmup=t < warmup_steps)
             self.history.append(record)
-            self.logger.log_step(step_offset + t, record)
+            self.logger.log_step(step_offset + (t - start_step), record)
             if t >= swa_start:
                 # Stochastic weight averaging over the tail of training:
                 # the averaged iterate is far less sensitive to the noise
                 # of the last few minibatches than the final iterate.
-                if swa_sum is None:
-                    swa_sum = [p.data.copy() for p in params]
+                if self._swa_sum is None:
+                    self._swa_sum = [p.data.copy() for p in params]
                 else:
-                    for acc, p in zip(swa_sum, params):
+                    for acc, p in zip(self._swa_sum, params):
                         acc += p.data
-                swa_count += 1
+                self._swa_count += 1
             last = t == steps - 1
             if keeper is not None and t >= warmup_steps \
                     and (t % self.config.eval_every == 0 or last):
-                self._validate_and_keep(keeper, step_offset + t)
+                self._validate_and_keep(keeper,
+                                        step_offset + (t - start_step))
+            done = t + 1
+            if self._stop_requested and not last:
+                self.interrupted = True
+                self._start_step = done
+                if ckpt_path is not None:
+                    self.save_checkpoint(step=done, path=ckpt_path)
+                self.logger.log_event(
+                    "note",
+                    message=f"graceful stop after step {done}/{steps}; "
+                            f"checkpoint "
+                            f"{'written' if ckpt_path else 'unavailable'}",
+                )
+                break
+            if ckpt_path is not None and self.config.checkpoint_every \
+                    and done % self.config.checkpoint_every == 0 \
+                    and not last:
+                self.save_checkpoint(step=done, path=ckpt_path)
         self.optimizer.lr = base_lr
-        if swa_count > 1:
-            for acc, p in zip(swa_sum, params):
+        if self.interrupted:
+            return self.history
+        self._start_step = 0
+        if self._swa_count > 1:
+            for acc, p in zip(self._swa_sum, params):
                 # repro-check: disable=tensor-data-mutation -- SWA writes averaged leaf weights between steps
-                p.data[...] = acc / swa_count
+                p.data[...] = acc / self._swa_count
             self.final_weights_source = "swa"
         elif keeper is not None and keeper.best_state is not None:
             keeper.restore()

@@ -148,7 +148,8 @@ class TestBuildFailures:
         with pytest.raises(FlowBuildError) as excinfo:
             build_designs([("usbf_device", "7nm"), ("no_such_design", "7nm"),
                            ("also_missing", "130nm")],
-                          resolution=16, use_cache=False)
+                          resolution=16, use_cache=False,
+                          retry_backoff=0.0)
         failures = excinfo.value.failures
         assert [(n, node) for n, node, _ in failures] == \
             [("no_such_design", "7nm"), ("also_missing", "130nm")]
@@ -160,7 +161,8 @@ class TestBuildFailures:
         with pytest.raises(FlowBuildError) as excinfo:
             build_designs([("usbf_device", "7nm"),
                            ("no_such_design", "7nm")],
-                          resolution=16, workers=2, use_cache=False)
+                          resolution=16, workers=2, use_cache=False,
+                          retry_backoff=0.0)
         assert [(n, node) for n, node, _ in excinfo.value.failures] == \
             [("no_such_design", "7nm")]
 
@@ -182,3 +184,83 @@ class TestBuildFailures:
                                  use_cache=False)
         assert calls["tasks"] == {0: ("usbf_device", "7nm", 1.0, 16, 0)}
         _assert_identical(built, fresh)
+
+
+class TestRetryBackoff:
+    """Transient build failures ride out on retry-with-backoff."""
+
+    @pytest.fixture
+    def sleeps(self, monkeypatch):
+        from repro.flow import cache as cache_mod
+
+        recorded = []
+        monkeypatch.setattr(cache_mod, "_sleep", recorded.append)
+        return recorded
+
+    @pytest.fixture
+    def flaky_run(self, monkeypatch):
+        """Make PnRFlow.run fail ``flaky_run.failures_left`` times."""
+        from repro.flow.pnr import PnRFlow
+
+        original = PnRFlow.run
+        state = type("State", (), {"failures_left": 0, "calls": 0})()
+
+        def wrapped(self, name, node):
+            state.calls += 1
+            if state.failures_left > 0:
+                state.failures_left -= 1
+                raise RuntimeError("transient build failure")
+            return original(self, name, node)
+
+        monkeypatch.setattr(PnRFlow, "run", wrapped)
+        return state
+
+    def test_transient_failure_recovered(self, sleeps, flaky_run, fresh):
+        flaky_run.failures_left = 2
+        (built,) = build_designs(NAMES, resolution=16, use_cache=False,
+                                 retries=2, retry_backoff=0.5)
+        _assert_identical(built, fresh)
+        assert flaky_run.calls == 3
+        assert sleeps == [0.5, 1.0]  # exponential: base, base*2
+
+    def test_exhausted_retries_raise(self, sleeps, flaky_run):
+        flaky_run.failures_left = 99
+        with pytest.raises(FlowBuildError) as excinfo:
+            build_designs(NAMES, resolution=16, use_cache=False,
+                          retries=1, retry_backoff=0.25)
+        assert flaky_run.calls == 2  # first attempt + one retry
+        assert sleeps == [0.25]
+        ((name, node, exc),) = excinfo.value.failures
+        assert (name, node) == ("usbf_device", "7nm")
+        assert "transient" in str(exc)
+
+    def test_retries_zero_fails_fast(self, sleeps, flaky_run):
+        flaky_run.failures_left = 1
+        with pytest.raises(FlowBuildError):
+            build_designs(NAMES, resolution=16, use_cache=False,
+                          retries=0)
+        assert flaky_run.calls == 1
+        assert sleeps == []
+
+    def test_zero_backoff_never_sleeps(self, sleeps, flaky_run, fresh):
+        flaky_run.failures_left = 1
+        (built,) = build_designs(NAMES, resolution=16, use_cache=False,
+                                 retries=2, retry_backoff=0.0)
+        _assert_identical(built, fresh)
+        assert sleeps == []
+
+    def test_pool_failure_counts_as_first_attempt(self, monkeypatch,
+                                                  sleeps, fresh):
+        """A design that failed in the pool has used one attempt: the
+        serial fallback backs off before touching it again."""
+        from repro.flow import cache as cache_mod
+
+        def broken_pool(tasks, workers):
+            return {}, {i: RuntimeError("worker died") for i in tasks}
+
+        monkeypatch.setattr(cache_mod, "_run_parallel", broken_pool)
+        (built,) = build_designs(NAMES, resolution=16, workers=2,
+                                 use_cache=False, retries=2,
+                                 retry_backoff=0.5)
+        _assert_identical(built, fresh)
+        assert sleeps == [0.5]  # one backoff before the serial recovery

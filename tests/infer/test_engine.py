@@ -204,6 +204,8 @@ class TestSerialization:
 
         import numpy as np_
 
+        from repro.nn import CheckpointError
+
         path = tmp_path / "model.npz"
         save_predictor(model, path)
         with np_.load(path, allow_pickle=False) as archive:
@@ -212,5 +214,66 @@ class TestSerialization:
         meta["format_version"] = 99
         arrays["meta"] = np_.array(json.dumps(meta))
         np_.savez_compressed(path, **arrays)
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(CheckpointError, match="version"):
+            load_predictor(path)
+
+    def test_save_is_suffix_exact(self, model, tmp_path):
+        """No silent ``.npz`` append: the file lands at the requested
+        path verbatim, whatever its suffix."""
+        path = tmp_path / "model.ckpt"
+        written = save_predictor(model, path)
+        assert written == path
+        assert path.is_file()
+        assert not (tmp_path / "model.ckpt.npz").exists()
+        loaded = load_predictor(path)
+        assert weight_digest(loaded) == weight_digest(model)
+
+    def test_legacy_suffixed_checkpoint_still_loads(self, model,
+                                                    tmp_path):
+        """Checkpoints written before the atomic writer landed at
+        ``<path>.npz``; loading by the original name must still work."""
+        save_predictor(model, tmp_path / "model.npz")
+        loaded = load_predictor(tmp_path / "model")  # old call style
+        assert weight_digest(loaded) == weight_digest(model)
+
+    def test_crash_mid_save_leaves_previous_file(self, model, tmp_path,
+                                                 monkeypatch):
+        import os
+
+        path = tmp_path / "model.npz"
+        save_predictor(model, path)
+        before = path.read_bytes()
+
+        def dying_replace(src, dst):
+            raise OSError("simulated kill during rename")
+
+        monkeypatch.setattr(os, "replace", dying_replace)
+        with pytest.raises(OSError, match="simulated kill"):
+            save_predictor(model, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert [p for p in tmp_path.iterdir() if p != path] == []
+
+    def test_missing_key_is_named(self, model, tmp_path):
+        import numpy as np_
+
+        from repro.nn import CheckpointError
+
+        path = tmp_path / "model.npz"
+        save_predictor(model, path)
+        with np_.load(path, allow_pickle=False) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        victim = next(k for k in arrays if k.startswith("prior::log_var"))
+        del arrays[victim]
+        np_.savez_compressed(path, **arrays)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_predictor(path)
+        assert victim in str(excinfo.value)
+
+    def test_corrupt_archive_raises_typed_error(self, tmp_path):
+        from repro.nn import CheckpointError
+
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"garbage, not a zip archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
             load_predictor(path)

@@ -120,8 +120,12 @@ class TestRunDirValidation:
         assert any("summary.json" in p for p in problems)
 
     def test_bad_jsonl_line_located(self, tmp_path):
+        # Mid-stream corruption stays an error with its line number; a
+        # torn *final* line is a crash artifact and only warns (see
+        # tests/obs/test_resume.py).
         self._write_run(tmp_path / "run")
         steps = tmp_path / "run" / "steps.jsonl"
-        steps.write_text(steps.read_text() + "not json\n")
+        good = steps.read_text()
+        steps.write_text(good + "not json\n" + good)
         problems = validate_run_dir(tmp_path / "run")
         assert any("steps.jsonl:2" in p for p in problems)

@@ -45,6 +45,16 @@ class TestParser:
             ["train", "--save-model", "out.npz"])
         assert args.save_model == "out.npz"
 
+    def test_train_checkpoint_flags(self):
+        args = build_parser().parse_args(["train"])
+        assert args.checkpoint_every == 25
+        assert args.resume is None
+        args = build_parser().parse_args(
+            ["train", "--checkpoint-every", "10",
+             "--resume", "runs/x"])
+        assert args.checkpoint_every == 10
+        assert args.resume == "runs/x"
+
 
 class TestCommands:
     def test_libs(self, capsys):
