@@ -200,6 +200,80 @@ def check_no_grad(op_case: OpCase) -> List[str]:
     return problems
 
 
+def check_compiled(op_case: OpCase) -> List[str]:
+    """Audit one case's trace/compile/replay contract.
+
+    The compiled execution engine (:mod:`repro.nn.compile`) promises
+    **bit-for-bit** equivalence with eager execution in float64: every
+    case is traced, compiled, and replayed twice — once on the traced
+    values and once after mutating every input in place (the way the
+    optimizer mutates parameters between steps) — and both the forward
+    values and every input gradient must equal the eager run exactly.
+    Cases whose op legitimately poisons the tape (stochastic ops such
+    as dropout) are skipped; any other compile failure is a finding.
+    """
+    from ..nn import compile as nc
+
+    problems: List[str] = []
+    fn, inputs = op_case.build()
+    arrays = {name: np.asarray(value, dtype=np.float64).copy()
+              for name, value in inputs.items()}
+    tensors = {name: Tensor(value.copy(), requires_grad=True)
+               for name, value in arrays.items()}
+    try:
+        with nc.trace() as tape:
+            out = fn(**tensors)
+            if not isinstance(out, Tensor):
+                return []  # check_case already reports this
+            coeff = (np.arange(out.data.size, dtype=np.float64)
+                     .reshape(out.data.shape) * 0.17 + 0.3)
+            loss = (out * Tensor(coeff)).sum()
+        program = nc.CompiledStep(tape, loss,
+                                  outputs={"out": out, "loss": loss})
+    except nc.CompileError as exc:
+        if tape.poison_reason is not None:
+            return []  # legitimately untraceable (e.g. dropout)
+        return [f"trace does not compile: {exc}"]
+
+    rng = np.random.default_rng(99)
+    for replay in range(2):
+        if replay:
+            # Second pass: overwrite every input in place, exactly the
+            # way Adam rewrites parameters between replays.
+            for name, tensor in tensors.items():
+                # repro-check: disable=tensor-data-mutation -- audit harness perturbs leaves between replays
+                tensor.data[...] = arrays[name] \
+                    + 0.05 * rng.standard_normal(arrays[name].shape)
+        # Eager reference on the current values.
+        ref_in = {name: Tensor(tensor.data.copy(), requires_grad=True)
+                  for name, tensor in tensors.items()}
+        ref_out = fn(**ref_in)
+        ((ref_out * Tensor(coeff)).sum()).backward()
+        for tensor in tensors.values():
+            tensor.grad = None
+        result = program.replay()
+        tag = "replay" if replay == 0 else "post-mutation replay"
+        if not np.array_equal(result["out"], ref_out.data):
+            diff = float(np.max(np.abs(result["out"] - ref_out.data)))
+            problems.append(
+                f"{tag} forward deviates from eager (max |diff| = "
+                f"{diff:.3e}); compiled execution must be bit-exact")
+        for name, tensor in tensors.items():
+            ref_grad = ref_in[name].grad
+            if ref_grad is None:
+                continue
+            if tensor.grad is None:
+                problems.append(
+                    f"{tag} produced no gradient for input '{name}'")
+            elif not np.array_equal(tensor.grad, ref_grad):
+                diff = float(np.max(np.abs(tensor.grad - ref_grad)))
+                problems.append(
+                    f"{tag} gradient of '{name}' deviates from eager "
+                    f"(max |diff| = {diff:.3e}); compiled execution "
+                    "must be bit-exact")
+    return problems
+
+
 def functional_ops() -> List[str]:
     """Public autograd ops defined by :mod:`repro.nn.functional`."""
     ops = []
@@ -226,9 +300,38 @@ def audit_coverage() -> List[Finding]:
     return findings
 
 
+def audit_compile_coverage() -> List[Finding]:
+    """Every op must be classified by the compiled execution engine.
+
+    Each public :mod:`repro.nn.functional` op (plus the required
+    extras) has to appear in exactly one of the compile layer's
+    registries: ``PRIMITIVE_OPS`` (it has an ``out=``-capable compiled
+    kernel), ``COMPOSITE_OPS`` (it traces through primitives), or
+    ``UNTRACEABLE_OPS`` (it legitimately poisons a trace).  An op in
+    none of them would silently drop every training step that uses it
+    back to eager execution — this audit makes that a ``repro check``
+    failure instead.
+    """
+    from ..nn import compile as nc
+
+    classified = (nc.PRIMITIVE_OPS | nc.COMPOSITE_OPS
+                  | nc.UNTRACEABLE_OPS)
+    findings = []
+    for name in list(functional_ops()) + list(REQUIRED_EXTRA_OPS):
+        if name not in classified:
+            findings.append(Finding(
+                "compile-coverage", f"repro.nn.functional.{name}", 0,
+                f"op '{name}' is not enrolled with the compiled "
+                "execution engine: register an out= kernel in "
+                "repro.nn.compile.KERNELS, or classify it in "
+                "COMPOSITE_OPS / UNTRACEABLE_OPS",
+            ))
+    return findings
+
+
 def run_gradcheck() -> List[Finding]:
     """Audit coverage and every registered case; empty list = clean."""
-    findings = audit_coverage()
+    findings = audit_coverage() + audit_compile_coverage()
     for op_case in CASES:
         for problem in check_case(op_case):
             findings.append(Finding(
@@ -236,6 +339,10 @@ def run_gradcheck() -> List[Finding]:
         for problem in check_no_grad(op_case):
             findings.append(Finding(
                 "gradcheck-no-grad", f"{op_case.op}:{op_case.label}", 0,
+                problem))
+        for problem in check_compiled(op_case):
+            findings.append(Finding(
+                "gradcheck-compiled", f"{op_case.op}:{op_case.label}", 0,
                 problem))
     return findings
 

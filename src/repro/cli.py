@@ -187,6 +187,8 @@ def cmd_train(args) -> int:
             else default_run_dir(tag=args.tag)
         config = TrainConfig(steps=args.steps, seed=args.seed,
                              fused=not args.no_fused,
+                             compile=not args.no_compile,
+                             dtype=args.dtype,
                              checkpoint_every=args.checkpoint_every)
     with RunLogger(run_dir, resume=checkpoint is not None,
                    resume_step=None if checkpoint is None
@@ -211,6 +213,7 @@ def cmd_train(args) -> int:
         model_seed = config.seed if checkpoint is not None else args.seed
         model = TimingPredictor(dataset.in_features, seed=model_seed)
         trainer = OursTrainer(model, dataset.train, config, logger=logger)
+        trainer.profile_ops = bool(args.profile)
         if checkpoint is not None:
             trainer.load_checkpoint(run_dir / CHECKPOINT_NAME)
         else:
@@ -414,8 +417,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="design cache root (default $REPRO_CACHE_DIR)")
     p.add_argument("--no-fused", action="store_true",
                    help="use the legacy per-design training loop")
+    p.add_argument("--no-compile", action="store_true",
+                   help="run the fused step eagerly instead of the "
+                        "trace-once/replay compiled schedule "
+                        "(bit-identical results, slower)")
+    p.add_argument("--dtype", choices=["float64", "float32"],
+                   default="float64",
+                   help="numeric precision of the compiled step "
+                        "(float32 is faster but not bit-exact; "
+                        "requires compilation)")
     p.add_argument("--profile", action="store_true",
-                   help="print per-phase timing totals after training")
+                   help="print per-phase and per-kernel timing totals "
+                        "after training")
     p.add_argument("--run-dir", default=None,
                    help="telemetry directory for this run "
                         "(default runs/<timestamp>-<tag>/)")

@@ -107,29 +107,54 @@ class BayesianReadout(Module):
         mu, log_var = self.weight_distribution(z)
         return self.sample_predictions_from(u, mu, log_var, n_samples)
 
+    def draw_noise(self, mu_shape: Tuple[int, ...],
+                   n_samples: Optional[int] = None) -> np.ndarray:
+        """Reparameterisation noise ``(S,) + mu_shape`` for one MC pass.
+
+        One batched ``standard_normal`` consumes the exact PCG64 stream
+        the historical per-sample loop did (the generator fills the
+        output in C order), so pre-drawing noise outside the graph —
+        which the compiled step needs, since a replay cannot re-run the
+        generator — leaves the run's random stream unchanged.
+        """
+        n_samples = n_samples or self.mc_samples
+        return self._noise_rng.standard_normal((n_samples,) + mu_shape)
+
     def sample_predictions_from(self, u: Tensor, mu: Tensor,
                                 log_var: Tensor,
-                                n_samples: Optional[int] = None) -> Tensor:
+                                n_samples: Optional[int] = None,
+                                eps: Optional[Tensor] = None) -> Tensor:
         """MC predictions under an explicit Gaussian over W.
 
         ``mu``/``log_var`` may be per-path ``(K, m)`` (posterior) or a
         single node-level row ``(1, m)`` (prior) that broadcasts.
+        ``eps`` (shape ``(S,) + mu.shape``) injects pre-drawn
+        reparameterisation noise; when omitted it is drawn here from
+        the head's own generator (see :meth:`draw_noise`).
         """
-        n_samples = n_samples or self.mc_samples
+        if eps is None:
+            eps = Tensor(self.draw_noise(mu.shape, n_samples))
         std = (log_var * 0.5).exp()
-        preds = []
-        for _ in range(n_samples):
-            eps = Tensor(self._noise_rng.standard_normal(mu.shape))
-            w = mu + std * eps
-            preds.append((u * w).sum(axis=1, keepdims=True) + self.bias)
-        from ..nn import stack
-
-        return stack(preds, axis=0)
+        w = mu + std * eps
+        return (u * w).sum(axis=2, keepdims=True) + self.bias
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _as_label_tensor(labels) -> Tensor:
+        """Labels as a ``(1, K, 1)`` tensor; pass-through when already one.
+
+        Accepting a pre-shaped Tensor lets the trainer register labels
+        as a compiled step input (``step_input``) instead of baking one
+        step's values into the trace.
+        """
+        if isinstance(labels, Tensor):
+            return labels
+        return Tensor(np.asarray(labels, dtype=float).reshape(1, -1, 1))
+
     def expected_nll(self, u: Tensor, z: Tensor, labels: np.ndarray,
                      obs_var: float = 1.0,
-                     n_samples: Optional[int] = None) -> Tensor:
+                     n_samples: Optional[int] = None,
+                     eps: Optional[Tensor] = None) -> Tensor:
         """Monte-Carlo estimate of ``-E_q[log p(y | G', W)]`` (mean).
 
         This is the (negated) first term of Equation (11).  ``obs_var``
@@ -139,8 +164,10 @@ class BayesianReadout(Module):
         drowning the other's — the failure mode of SimpleMerge that
         Figure 6 illustrates.
         """
-        y = Tensor(np.asarray(labels, dtype=float).reshape(1, -1, 1))
-        preds = self.sample_predictions(u, z, n_samples)
+        y = self._as_label_tensor(labels)
+        mu, log_var = self.weight_distribution(z)
+        preds = self.sample_predictions_from(u, mu, log_var, n_samples,
+                                             eps=eps)
         sq = (preds - y) * (preds - y)
         log2pi = float(np.log(2.0 * np.pi))
         nll = 0.5 * (sq * (1.0 / obs_var)
@@ -165,7 +192,9 @@ class BayesianReadout(Module):
     def elbo_loss(self, u: Tensor, z: Tensor, labels: np.ndarray,
                   prior_mu: Tensor, prior_log_var: Tensor,
                   kl_weight: float = 1.0, obs_var: float = 1.0,
-                  prior_weight: float = 1.0) -> Tensor:
+                  prior_weight: float = 1.0,
+                  noise: Optional[Tuple[Tensor, Optional[Tensor]]] = None,
+                  ) -> Tensor:
         """Negative ELBO (Equation 11) plus the direct Eq-7 likelihood.
 
         The ELBO lower-bounds ``log p(y | G', N)`` through the posterior
@@ -174,14 +203,21 @@ class BayesianReadout(Module):
         prior itself (``prior_weight`` scales it).  This trains the
         node-level readout that inference actually uses, instead of
         relying on the KL term to transport fit quality from q to p.
+
+        ``noise`` optionally supplies the pre-drawn ``(eps_q, eps_p)``
+        reparameterisation noise (``eps_p`` unused/None when
+        ``prior_weight == 0``); the trainer uses this to make the loss a
+        pure function of its inputs, as compiled replays require.
         """
-        nll = self.expected_nll(u, z, labels, obs_var=obs_var)
+        eps_q, eps_p = noise if noise is not None else (None, None)
+        nll = self.expected_nll(u, z, labels, obs_var=obs_var, eps=eps_q)
         q_mu, q_log_var = self.weight_distribution(z)
         kl = self.kl_divergence(q_mu, q_log_var, prior_mu, prior_log_var)
         loss = nll + kl_weight * kl
         if prior_weight > 0.0:
-            y = Tensor(np.asarray(labels, dtype=float).reshape(1, -1, 1))
-            preds = self.sample_predictions_from(u, prior_mu, prior_log_var)
+            y = self._as_label_tensor(labels)
+            preds = self.sample_predictions_from(u, prior_mu, prior_log_var,
+                                                 eps=eps_p)
             sq = (preds - y) * (preds - y)
             prior_nll = (0.5 * sq * (1.0 / obs_var)).mean()
             loss = loss + prior_weight * prior_nll

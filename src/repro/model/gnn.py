@@ -161,7 +161,9 @@ def levelized_sweep(s: Tensor, w_net: Tensor, w_cell: Tensor,
         if grad_wc is not None:
             out._send(w_cell, grad_wc)
 
-    return _finish(h, (s, w_net, w_cell), backward)
+    return _finish(h, (s, w_net, w_cell), backward, op="levelized_sweep",
+                   attrs={"plan": plan, "level0": level0,
+                          "num_nodes": num_nodes})
 
 
 class TimingGNN(Module):

@@ -11,6 +11,8 @@ Public surface:
 
 from . import functional
 from . import init
+from .compile import (CompiledStep, CompileError, ReplayMismatch,
+                      step_index, step_input, trace)
 from .grad_mode import enable_grad, is_grad_enabled, no_grad
 from .layers import (
     Conv2d,
@@ -83,4 +85,10 @@ __all__ = [
     "scatter_add_rows",
     "stack",
     "where",
+    "CompiledStep",
+    "CompileError",
+    "ReplayMismatch",
+    "trace",
+    "step_input",
+    "step_index",
 ]

@@ -13,6 +13,7 @@ from typing import Tuple
 import numpy as np
 
 from ..util import is_legacy
+from . import _tracing
 from .grad_mode import is_grad_enabled
 from .tensor import Tensor, _finish, as_tensor
 
@@ -32,10 +33,40 @@ def _inference_only(grad: np.ndarray, out: Tensor) -> None:
 # ----------------------------------------------------------------------
 # Softmax family
 # ----------------------------------------------------------------------
+def _log_softmax_raw(x: np.ndarray, axis: int,
+                     out: np.ndarray = None) -> np.ndarray:
+    """Numerically stable log-softmax on a raw array (``out=`` capable).
+
+    The exact arithmetic sequence of the historical Tensor composition
+    (``x - max``, clipped exp, sum, log, subtract), shared by the eager
+    op and the compiled kernel so both produce bit-identical values.
+    """
+    shifted = x - x.max(axis=axis, keepdims=True)
+    denom = np.log(np.exp(np.clip(shifted, -700.0, 700.0))
+                   .sum(axis=axis, keepdims=True))
+    if out is None:
+        return shifted - denom
+    np.subtract(shifted, denom, out=out)
+    return out
+
+
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    """Numerically stable log-softmax along ``axis``.
+
+    A single primitive op (not a composition): the max-shift is a
+    *data-dependent constant*, which a trace would otherwise bake in as
+    a frozen value — replays with different inputs would silently lose
+    the numerical stabilisation.  The closed-form backward is the
+    standard ``g - softmax * sum(g)``.
+    """
+    out_data = _log_softmax_raw(x.data, axis)
+
+    def backward(grad: np.ndarray, out: Tensor) -> None:
+        softm = np.exp(out_data)
+        out._send(x, grad - softm * grad.sum(axis=axis, keepdims=True))
+
+    return _finish(out_data, (x,), backward, op="log_softmax",
+                   attrs={"axis": axis})
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -172,7 +203,9 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride: int = 1,
             g_x = _col2im(g_cols, x.shape, (kh, kw), stride, padding, oh, ow)
             out._send(x, g_x)
 
-    return _finish(out_data, parents, backward)
+    return _finish(out_data, parents, backward, op="conv2d",
+                   attrs={"stride": stride, "padding": padding,
+                          "legacy": legacy, "has_bias": bias is not None})
 
 
 def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
@@ -227,7 +260,9 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
             g_x.ravel()[(chan * h + rows) * w + cols_] = grad
         out._send(x, g_x)
 
-    return _finish(out_data, (x,), backward)
+    return _finish(out_data, (x,), backward, op="max_pool2d",
+                   attrs={"kernel": kernel, "stride": stride,
+                          "legacy": legacy})
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
@@ -253,7 +288,8 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int = None) -> Tensor:
                 g_x[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += g
         out._send(x, g_x)
 
-    return _finish(out_data, (x,), backward)
+    return _finish(out_data, (x,), backward, op="avg_pool2d",
+                   attrs={"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -263,8 +299,84 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
             training: bool = True) -> Tensor:
-    """Inverted dropout; identity when not training or rate == 0."""
+    """Inverted dropout; identity when not training or rate == 0.
+
+    Untraceable: the mask is redrawn per call, so a compiled replay
+    would freeze one mask forever.  An active trace is poisoned and the
+    trainer falls back to eager execution.
+    """
     if not training or rate <= 0.0:
         return x
+    if _tracing.ACTIVE:
+        _tracing.poison("dropout draws a fresh random mask per call")
     mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
     return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# out=-capable kernel variants (the compiled step's building blocks)
+# ----------------------------------------------------------------------
+def _im2col_out(x: np.ndarray, kernel: Tuple[int, int], stride: int,
+                padding: int, xpad: np.ndarray,
+                cols6: np.ndarray) -> np.ndarray:
+    """:func:`_im2col` into preallocated buffers (no strided reshape).
+
+    ``xpad`` is the (possibly padded) input staging buffer — pass ``x``
+    itself when ``padding == 0`` — and ``cols6`` a C-contiguous
+    ``(n, c, kh, kw, oh, ow)`` buffer.  The per-(i, j) block copies
+    land in contiguous destination planes, avoiding the pathological
+    element-order copy ``as_strided(...).reshape`` performs; the
+    returned ``(n, c*kh*kw, oh*ow)`` matrix is a free view of
+    ``cols6`` with values bit-identical to :func:`_im2col`.
+    """
+    n, c, kh, kw, oh, ow = cols6.shape
+    if padding:
+        xpad[:, :, padding:padding + x.shape[2],
+             padding:padding + x.shape[3]] = x
+    else:
+        xpad = x
+    for i in range(kh):
+        for j in range(kw):
+            cols6[:, :, i, j] = xpad[:, :, i:i + stride * oh:stride,
+                                     j:j + stride * ow:stride]
+    return cols6.reshape(n, c * kh * kw, oh * ow)
+
+
+def _col2im_out(cols: np.ndarray, kernel: Tuple[int, int], stride: int,
+                padding: int, oh: int, ow: int, gpad: np.ndarray,
+                gx: np.ndarray) -> np.ndarray:
+    """:func:`_col2im` into preallocated buffers.
+
+    ``gpad`` is the padded accumulation buffer (pass ``gx`` itself when
+    ``padding == 0``); both are zeroed here.  Returns ``gx`` holding
+    the unpadded fold, bit-identical to :func:`_col2im`.
+    """
+    n, c, hp, wp = gpad.shape
+    kh, kw = kernel
+    gpad.fill(0.0)
+    patches = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        for j in range(kw):
+            gpad[:, :, i:i + stride * oh:stride,
+                 j:j + stride * ow:stride] += patches[:, :, i, j]
+    if padding:
+        gx[...] = gpad[:, :, padding:hp - padding, padding:wp - padding]
+        return gx
+    return gpad
+
+
+def _pool_windows_out(x: np.ndarray, kernel: int, stride: int,
+                      win: np.ndarray) -> np.ndarray:
+    """Flattened pooling windows into a preallocated buffer.
+
+    ``win`` is C-contiguous ``(n, c, oh, ow, kernel, kernel)``; the
+    returned ``(n, c, oh, ow, kernel*kernel)`` array is a free view
+    with the same logical content as the ``as_strided`` window view
+    (and therefore the same reduction results, bit for bit).
+    """
+    n, c, oh, ow, kh, kw = win.shape
+    for i in range(kh):
+        for j in range(kw):
+            win[:, :, :, :, i, j] = x[:, :, i:i + stride * oh:stride,
+                                      j:j + stride * ow:stride]
+    return win.reshape(n, c, oh, ow, kh * kw)

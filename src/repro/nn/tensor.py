@@ -28,6 +28,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import _tracing
 from .grad_mode import is_grad_enabled
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
@@ -238,7 +239,7 @@ class Tensor:
             out._send(self, _unbroadcast(grad, self.shape))
             out._send(other_t, _unbroadcast(grad, other_t.shape))
 
-        return _finish(out_data, (self, other_t), backward)
+        return _finish(out_data, (self, other_t), backward, op="add")
 
     __radd__ = __add__
 
@@ -250,7 +251,7 @@ class Tensor:
             out._send(self, _unbroadcast(grad * other_t.data, self.shape))
             out._send(other_t, _unbroadcast(grad * self.data, other_t.shape))
 
-        return _finish(out_data, (self, other_t), backward)
+        return _finish(out_data, (self, other_t), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -258,7 +259,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, -grad)
 
-        return _finish(-self.data, (self,), backward)
+        return _finish(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other))
@@ -277,7 +278,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape),
             )
 
-        return _finish(out_data, (self, other_t), backward)
+        return _finish(out_data, (self, other_t), backward, op="truediv")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -290,7 +291,8 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * exponent * self.data ** (exponent - 1))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="pow",
+                       attrs={"exponent": exponent})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
@@ -312,7 +314,7 @@ class Tensor:
                     g_other = np.swapaxes(self.data, -1, -2) @ grad
                 out._send(other_t, _unbroadcast(np.asarray(g_other), other_t.shape))
 
-        return _finish(out_data, (self, other_t), backward)
+        return _finish(out_data, (self, other_t), backward, op="matmul")
 
     # ------------------------------------------------------------------
     # Reductions
@@ -327,7 +329,8 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             out._send(self, np.broadcast_to(g, self.shape).copy())
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="sum",
+                       attrs={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
              keepdims: bool = False) -> "Tensor":
@@ -359,7 +362,8 @@ class Tensor:
                 else mask.sum()
             out._send(self, mask * g / denom)
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="max",
+                       attrs={"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -372,7 +376,8 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad.reshape(self.shape))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="reshape",
+                       attrs={"shape": tuple(shape)})
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_t: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
@@ -385,7 +390,8 @@ class Tensor:
                 inverse = np.argsort(axes_t)
                 out._send(self, grad.transpose(tuple(inverse)))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="transpose",
+                       attrs={"axes": axes_t})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -395,7 +401,8 @@ class Tensor:
             np.add.at(full, index, grad)
             out._send(self, full)
 
-        return _finish(np.asarray(out_data), (self,), backward)
+        return _finish(np.asarray(out_data), (self,), backward,
+                       op="getitem", attrs={"index": index})
 
     # ------------------------------------------------------------------
     # Nonlinearities
@@ -406,7 +413,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * (self.data > 0))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="relu")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -414,7 +421,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * (1.0 - out_data ** 2))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
@@ -422,7 +429,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * out_data * (1.0 - out_data))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="sigmoid")
 
     def exp(self) -> "Tensor":
         out_data = np.exp(np.clip(self.data, -700.0, 700.0))
@@ -430,7 +437,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * out_data)
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -438,7 +445,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad / self.data)
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="log")
 
     def softplus(self) -> "Tensor":
         """Numerically stable ``log(1 + exp(x))``."""
@@ -449,7 +456,7 @@ class Tensor:
             sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
             out._send(self, grad * sig)
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="softplus")
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -457,7 +464,7 @@ class Tensor:
         def backward(grad: np.ndarray, out: "Tensor") -> None:
             out._send(self, grad * np.sign(self.data))
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
@@ -466,22 +473,33 @@ class Tensor:
             inside = (self.data >= low) & (self.data <= high)
             out._send(self, grad * inside)
 
-        return _finish(out_data, (self,), backward)
+        return _finish(out_data, (self,), backward, op="clip",
+                       attrs={"low": low, "high": high})
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
 
 def _finish(data: np.ndarray, parents: Tuple[Tensor, ...],
-            backward: Callable[[np.ndarray, Tensor], None]) -> Tensor:
+            backward: Callable[[np.ndarray, Tensor], None],
+            op: Optional[str] = None, attrs: Optional[dict] = None) -> Tensor:
     """Build a graph node whose backward closure receives (grad, out).
 
     Under :func:`no_grad` the result requires no gradient, so the
     wiring closure is never constructed and ``backward`` is dropped.
+
+    ``op``/``attrs`` name the operation for the trace/compile layer
+    (:mod:`repro.nn.compile`): while a trace is active every op is
+    appended to the tape, including ones producing ``requires_grad=
+    False`` results — their *values* still feed the forward replay.
+    An op without a name poisons compilation (the tape records it and
+    the compiler refuses), never silently miscomputes.
     """
     out = Tensor._make(np.asarray(data), parents, _NO_BACKWARD)
     if out.requires_grad:
         out._backward = lambda grad: backward(grad, out)
+    if _tracing.ACTIVE:
+        _tracing.emit(op, out, parents, attrs)
     return out
 
 
@@ -507,7 +525,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(int(start), int(stop))
             out._send(tensor, grad[tuple(index)])
 
-    return _finish(out_data, tuple(tensors), backward)
+    return _finish(out_data, tuple(tensors), backward, op="concatenate",
+                   attrs={"axis": axis, "sizes": tuple(sizes)})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -520,7 +539,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         for tensor, piece in zip(tensors, pieces):
             out._send(tensor, np.squeeze(piece, axis=axis))
 
-    return _finish(out_data, tuple(tensors), backward)
+    return _finish(out_data, tuple(tensors), backward, op="stack",
+                   attrs={"axis": axis})
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -533,7 +553,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         out._send(a_t, _unbroadcast(grad * cond, a_t.shape))
         out._send(b_t, _unbroadcast(grad * (~cond), b_t.shape))
 
-    return _finish(out_data, (a_t, b_t), backward)
+    return _finish(out_data, (a_t, b_t), backward, op="where",
+                   attrs={"cond": cond})
 
 
 def gather_rows(source: Tensor, index: np.ndarray) -> Tensor:
@@ -546,7 +567,8 @@ def gather_rows(source: Tensor, index: np.ndarray) -> Tensor:
         np.add.at(full, idx, grad)
         out._send(source, full)
 
-    return _finish(out_data, (source,), backward)
+    return _finish(out_data, (source,), backward, op="gather_rows",
+                   attrs={"index": idx})
 
 
 def scatter_add_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
@@ -563,7 +585,8 @@ def scatter_add_rows(values: Tensor, index: np.ndarray, num_rows: int) -> Tensor
     def backward(grad: np.ndarray, out: Tensor) -> None:
         out._send(values, grad[idx])
 
-    return _finish(out_data, (values,), backward)
+    return _finish(out_data, (values,), backward, op="scatter_add_rows",
+                   attrs={"index": idx, "num_rows": num_rows})
 
 
 def no_grad_copy(tensor: Tensor) -> np.ndarray:

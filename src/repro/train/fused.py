@@ -127,10 +127,24 @@ class FusedDesignBatch:
         order of the batch, so callers recover per-design blocks via
         :func:`slice_ranges` over the subset sizes.
         """
-        rows = self.merged_endpoint_rows(subsets)
+        return self.path_features_from(
+            model,
+            self.merged_endpoint_rows(subsets),
+            self.stacked_path_images(subsets),
+        )
+
+    def path_features_from(self, model, rows: np.ndarray, images
+                           ) -> Tuple[Tensor, Tensor, Tensor]:
+        """:meth:`path_features` from pre-gathered rows/images.
+
+        The trainer prepares ``rows``/``images`` as named step inputs
+        (so a compiled trace can rebind them each replay) and hands
+        them through here; ``images`` may be a raw array or an already
+        wrapped :class:`~repro.nn.Tensor`.
+        """
         u_graph = model.extractor.gnn(self.graph, rows)
         u_layout = model.extractor.cnn(
-            Tensor(self.stacked_path_images(subsets))
+            images if isinstance(images, Tensor) else Tensor(images)
         )
         u = concatenate([u_graph, u_layout], axis=1)
         u_n, u_d = model.disentangler(u)

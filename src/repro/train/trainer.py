@@ -21,7 +21,9 @@ import numpy as np
 from ..flow import DesignData
 from ..model import TimingPredictor, cmd_loss, node_contrastive_loss
 from ..model.gnn import reference_sweep
-from ..nn import Adam, CheckpointError, Tensor, concatenate
+from ..nn import (Adam, CheckpointError, CompiledStep, CompileError,
+                  ReplayMismatch, Tensor, concatenate, step_index,
+                  step_input, trace)
 from ..obs import NullRunLogger, RunLogger
 from ..util import timed
 from .batching import sample_endpoints, sample_from_pool, split_by_node
@@ -70,6 +72,19 @@ class TrainConfig:
     #: (``0`` disables periodic checkpoints; a graceful-stop checkpoint
     #: is still written when a stop is requested mid-run).
     checkpoint_every: int = 0
+    #: Graph-compile the fused training step: trace the op graph once,
+    #: then replay it as a flat schedule of preallocated numpy kernels
+    #: (see :mod:`repro.nn.compile`).  Bit-for-bit identical to eager
+    #: execution in float64, so eager and compiled runs (and their
+    #: checkpoints) are interchangeable.  Shape changes retrace
+    #: automatically; compile errors fall back to eager.  Only applies
+    #: to the fused step (``fused=True``).
+    compile: bool = True
+    #: Numeric precision of the *compiled* step: ``"float64"`` (default,
+    #: bit-exact vs eager) or ``"float32"`` (faster, ~1e-5 relative
+    #: loss deviation; see DESIGN.md §11).  Eager execution is always
+    #: float64, so float32 requires the compiled fused step.
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.swa_fraction <= 1.0:
@@ -80,6 +95,15 @@ class TrainConfig:
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.dtype == "float32" and not (self.compile and self.fused):
+            raise ValueError(
+                "dtype='float32' runs only in the compiled fused step; "
+                "set compile=True and fused=True (or use float64)"
             )
 
 
@@ -157,6 +181,21 @@ class OursTrainer:
         # across steps (only endpoint subsets change), so it is built
         # once, lazily, and its GNN level plan is memoised on it.
         self._fused_batch: Optional[FusedDesignBatch] = None
+        # Compiled-step state: one CompiledStep per program signature
+        # (warmup flag, per-design subset sizes, dtype) — a shape change
+        # simply compiles a new program.  ``_compile_disabled`` latches
+        # on an unrecoverable CompileError (e.g. an untraceable op) and
+        # drops the run to eager; ``retraces`` counts replays invalidated
+        # by rebound parameter arrays, capped per signature.
+        self._programs: Dict[Tuple, CompiledStep] = {}
+        self._retrace_counts: Dict[Tuple, int] = {}
+        self._max_retraces = 3
+        self._compile_disabled = False
+        self.retraces = 0
+        #: When True, replays time every kernel into the
+        #: :mod:`repro.util` timing registry (``op.fwd.*``/``op.bwd.*``)
+        #: and the program's ``op_profile`` (CLI ``--profile``).
+        self.profile_ops = False
         # Crash-resume lifecycle state.  ``keeper`` lives on the
         # instance (not as a fit() local) so a checkpoint can capture
         # and restore the best-validation snapshot; the SWA accumulators
@@ -237,11 +276,19 @@ class OursTrainer:
         ckpt = read_checkpoint(path)
         current = asdict(self.config)
         # checkpoint_every may legitimately differ between the original
-        # and the resumed invocation; everything else changes the math.
+        # and the resumed invocation, and `compile` only changes *how*
+        # the (bit-identical) step executes; everything else changes
+        # the math.  A key absent from an older checkpoint is accepted
+        # when the current value is the dataclass default — new config
+        # fields must not orphan existing checkpoints (`dtype` still
+        # trips this when set to float32, which is math-relevant).
+        defaults = asdict(TrainConfig())
         diffs = sorted(
             key for key in set(current) | set(ckpt.config)
-            if key != "checkpoint_every"
+            if key not in ("checkpoint_every", "compile")
             and current.get(key) != ckpt.config.get(key)
+            and not (key not in ckpt.config
+                     and current.get(key) == defaults.get(key))
         )
         if diffs:
             raise CheckpointError(
@@ -323,13 +370,6 @@ class OursTrainer:
                                                 self.rng))
         return subsets
 
-    def _features_fused(self, subsets: List[np.ndarray]
-                        ) -> Tuple[Tensor, Tensor, Tensor]:
-        """One sweep / one CNN pass for every design's sampled paths."""
-        if self._fused_batch is None:
-            self._fused_batch = FusedDesignBatch(self.source + self.target)
-        return self._fused_batch.path_features(self.model, subsets)
-
     def _features_looped(self, subsets: List[np.ndarray]
                          ) -> Tuple[Tensor, Tensor, Tensor]:
         """Legacy per-design extraction (the pre-fusion implementation).
@@ -349,30 +389,60 @@ class OursTrainer:
                 concatenate(parts_un, axis=0),
                 concatenate(parts_ud, axis=0))
 
-    def step(self, warmup: bool = False) -> Dict[str, float]:
-        """One optimisation step over all designs; returns loss parts.
+    def _step_inputs(self, subsets: List[np.ndarray]) -> Dict[str, np.ndarray]:
+        """Everything that varies between steps, as named plain arrays.
 
-        During warmup the alignment losses and the KL term are disabled,
-        so the extractor first learns plain cross-node regression (the
-        same signal PT-FT's pretraining provides) before the
-        disentangle/align/Bayesian machinery shapes the feature space.
-
-        With ``config.fused`` (the default) all designs share one GNN
-        sweep over the disjoint-union graph and one stacked CNN forward;
-        per-design blocks are recovered as contiguous row ranges.  The
-        looped path recomputes them design by design — same numbers,
-        ~#designs more autograd nodes.
+        These are the per-step inputs of the (compiled or eager) loss
+        graph: the merged endpoint rows and stacked layout images of
+        the fused batch, each design's labels, and the pre-drawn
+        reparameterisation noise.  Drawing the noise *here* — in the
+        exact order the historical in-graph sampling consumed the
+        generator (per design: posterior draw, then prior draw when
+        ``prior_weight > 0``) — keeps the run's random stream
+        byte-identical while making the loss a pure function of its
+        inputs, which is what lets a compiled replay reproduce eager
+        execution bit for bit.
         """
-        start = time.perf_counter()
+        cfg = self.config
+        readout = self.model.readout
+        m = readout.feature_size
+        inputs: Dict[str, np.ndarray] = {}
+        if cfg.fused:
+            if self._fused_batch is None:
+                self._fused_batch = FusedDesignBatch(self.source + self.target)
+            batch = self._fused_batch
+            inputs["rows"] = batch.merged_endpoint_rows(subsets)
+            inputs["images"] = batch.stacked_path_images(subsets)
+        for i, (design, subset) in enumerate(zip(self.source + self.target,
+                                                 subsets)):
+            labels = np.asarray(design.labels[subset], dtype=float)
+            inputs[f"y{i}"] = labels.reshape(1, -1, 1)
+            inputs[f"eps_q{i}"] = readout.draw_noise((len(subset), m))
+            if cfg.prior_weight > 0.0:
+                inputs[f"eps_p{i}"] = readout.draw_noise((1, m))
+        return inputs
+
+    def _loss_parts(self, warmup: bool, subsets: List[np.ndarray],
+                    inputs: Dict[str, np.ndarray]
+                    ) -> Tuple[Tensor, Tensor, Tensor, Tensor]:
+        """Build the step's loss graph from prepared inputs.
+
+        Shared verbatim by eager execution and the compile trace:
+        ``step_input``/``step_index`` register the arrays on the active
+        tape during a trace and are plain wrappers otherwise, so the
+        compiled program replays exactly the graph eager runs.
+        """
         cfg = self.config
         gamma1 = 0.0 if warmup else cfg.gamma1
         gamma2 = 0.0 if warmup else cfg.gamma2
         kl_weight = 0.0 if warmup else cfg.kl_weight
         designs = self.source + self.target
-        subsets = self._sample_subsets()
         with timed("train.features"):
             if cfg.fused:
-                u, u_n, u_d = self._features_fused(subsets)
+                rows = step_index("rows", inputs["rows"])
+                images = step_input("images", inputs["images"])
+                u, u_n, u_d = self._fused_batch.path_features_from(
+                    self.model, rows, images)
             else:
                 u, u_n, u_d = self._features_looped(subsets)
         z = self.model.disentangler.recombine(u_n, u_d)
@@ -387,14 +457,20 @@ class OursTrainer:
 
         elbo_total = None
         with timed("train.elbo"):
-            for design, subset, (lo, hi) in zip(designs, subsets, ranges):
+            for i, (design, subset, (lo, hi)) in enumerate(
+                    zip(designs, subsets, ranges)):
                 prior_mu, prior_lv = prior_s if design.node == "130nm" \
                     else prior_t
+                y = step_input(f"y{i}", inputs[f"y{i}"])
+                eps_q = step_input(f"eps_q{i}", inputs[f"eps_q{i}"])
+                eps_p = step_input(f"eps_p{i}", inputs[f"eps_p{i}"]) \
+                    if cfg.prior_weight > 0.0 else None
                 term = self.model.readout.elbo_loss(
-                    u[lo:hi], z[lo:hi], design.labels[subset],
+                    u[lo:hi], z[lo:hi], y,
                     prior_mu, prior_lv, kl_weight=kl_weight,
                     obs_var=self.node_obs_var[design.node],
                     prior_weight=cfg.prior_weight,
+                    noise=(eps_q, eps_p),
                 )
                 elbo_total = term if elbo_total is None \
                     else elbo_total + term
@@ -405,19 +481,138 @@ class OursTrainer:
             cmd = cmd_loss(u_d[:n_source], u_d[n_source:],
                            max_order=cfg.cmd_order)
         total = elbo_total + gamma1 * clr + gamma2 * cmd
+        return total, elbo_total, clr, cmd
 
+    def _program_key(self, warmup: bool,
+                     subsets: List[np.ndarray]) -> Tuple:
+        """Program signature: retrace whenever any of this changes."""
+        return (bool(warmup), tuple(len(s) for s in subsets),
+                self.config.dtype)
+
+    def _compile_program(self, key: Tuple, warmup: bool,
+                         subsets: List[np.ndarray],
+                         inputs: Dict[str, np.ndarray]
+                         ) -> Optional[CompiledStep]:
+        """Trace one step and compile it; None (eager fallback) on failure."""
+        try:
+            with timed("train.trace"):
+                with trace() as tape:
+                    total, elbo, clr, cmd = self._loss_parts(
+                        warmup, subsets, inputs)
+                program = CompiledStep(
+                    tape, total,
+                    outputs={"total": total, "elbo": elbo,
+                             "contrastive": clr, "cmd": cmd},
+                    dtype=self.config.dtype,
+                )
+        except CompileError as exc:
+            self._compile_disabled = True
+            self.logger.log_event(
+                "note",
+                message=f"step compilation failed, running eager: {exc}",
+            )
+            return None
+        self._programs[key] = program
+        return program
+
+    def _step_compiled(self, warmup: bool, subsets: List[np.ndarray],
+                       inputs: Dict[str, np.ndarray]
+                       ) -> Optional[Tuple[Dict[str, float], float]]:
+        """Run one step through the compiled program, if possible.
+
+        Returns ``None`` whenever eager execution should handle the
+        step instead: compilation disabled/failed, or the per-signature
+        retrace budget is exhausted (a guard against pathological
+        parameter rebinding re-tracing every step).
+        """
+        cfg = self.config
+        key = self._program_key(warmup, subsets)
+        if self._compile_disabled \
+                or self._retrace_counts.get(key, 0) > self._max_retraces:
+            return None
+        for _attempt in range(2):
+            program = self._programs.get(key)
+            if program is None:
+                program = self._compile_program(key, warmup, subsets,
+                                                inputs)
+                if program is None:
+                    return None
+            self.optimizer.zero_grad()
+            try:
+                with timed("train.replay"):
+                    out = program.replay(inputs,
+                                         profile=self.profile_ops)
+            except ReplayMismatch as exc:
+                # Stale program (a parameter array was rebound or an
+                # input changed shape under the same signature): drop
+                # it and retrace once, this same step.
+                self._programs.pop(key, None)
+                self._retrace_counts[key] = \
+                    self._retrace_counts.get(key, 0) + 1
+                self.retraces += 1
+                self.logger.log_event(
+                    "note", message=f"compiled step retraced: {exc}")
+                continue
+            grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
+            self.optimizer.step()
+            values = {name: float(np.asarray(value).reshape(()))
+                      for name, value in out.items()}
+            return values, float(grad_norm)
+        return None
+
+    def _step_eager(self, warmup: bool, subsets: List[np.ndarray],
+                    inputs: Dict[str, np.ndarray]
+                    ) -> Tuple[Dict[str, float], float]:
+        """One eager step (graph built and backpropagated per call)."""
+        total, elbo, clr, cmd = self._loss_parts(warmup, subsets, inputs)
         with timed("train.backward"):
             self.optimizer.zero_grad()
             total.backward()
-            grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
+            grad_norm = self.optimizer.clip_grad_norm(
+                self.config.grad_clip)
             self.optimizer.step()
+        values = {"total": total.item(), "elbo": elbo.item(),
+                  "contrastive": clr.item(), "cmd": cmd.item()}
+        return values, float(grad_norm)
+
+    def step(self, warmup: bool = False) -> Dict[str, float]:
+        """One optimisation step over all designs; returns loss parts.
+
+        During warmup the alignment losses and the KL term are disabled,
+        so the extractor first learns plain cross-node regression (the
+        same signal PT-FT's pretraining provides) before the
+        disentangle/align/Bayesian machinery shapes the feature space.
+
+        With ``config.fused`` (the default) all designs share one GNN
+        sweep over the disjoint-union graph and one stacked CNN forward;
+        per-design blocks are recovered as contiguous row ranges.  The
+        looped path recomputes them design by design — same numbers,
+        ~#designs more autograd nodes.
+
+        With ``config.compile`` (the default, fused only) the step's op
+        graph is traced once per (warmup, batch-shape, dtype) signature
+        and thereafter replayed as a flat schedule of preallocated
+        numpy kernels — bit-for-bit identical results in float64, so
+        eager and compiled runs are interchangeable mid-run via
+        checkpoints.  Any compile failure falls back to eager.
+        """
+        start = time.perf_counter()
+        cfg = self.config
+        subsets = self._sample_subsets()
+        inputs = self._step_inputs(subsets)
+        result = None
+        if cfg.compile and cfg.fused:
+            result = self._step_compiled(warmup, subsets, inputs)
+        if result is None:
+            result = self._step_eager(warmup, subsets, inputs)
+        values, grad_norm = result
         return {
-            "total": total.item(),
-            "elbo": elbo_total.item(),
-            "contrastive": clr.item(),
-            "cmd": cmd.item(),
+            "total": values["total"],
+            "elbo": values["elbo"],
+            "contrastive": values["contrastive"],
+            "cmd": values["cmd"],
             "lr": float(self.optimizer.lr),
-            "grad_norm": float(grad_norm),
+            "grad_norm": grad_norm,
             "grad_norm_clipped": float(min(grad_norm, cfg.grad_clip)),
             "warmup": bool(warmup),
             "step_seconds": time.perf_counter() - start,
