@@ -15,16 +15,28 @@ checks that guard against that mechanical:
   op in :mod:`repro.nn.functional` plus the fused levelised-sweep node
   is finite-difference checked and screened for NaN/inf and dtype
   drift;
+- :mod:`repro.check.dataflow` — per-function CFG construction and a
+  generic forward dataflow engine over the AST;
+- :mod:`repro.check.callgraph` — the package-wide import/call graph
+  the whole-program analyses propagate facts across;
+- :mod:`repro.check.analyses` — the shipped whole-program analyses
+  (RNG-stream discipline, parallel-safety, artifact atomicity,
+  trace-safety), run by ``repro check --dataflow``;
+- :mod:`repro.check.contracts` — the static tensor-contract checker
+  validating recorded compile traces (shapes, dtypes, aliasing)
+  without executing a training step;
 - :mod:`repro.check.cli` — ``repro check`` / ``python -m repro.check``.
 """
 
 from .gradcheck import OpCase, check_case, run_gradcheck
 from .lint import lint_file, run_lint
-from .rules import RULES, Finding, TENSOR_DATA_WHITELIST
+from .rules import (PROGRAM_RULES, RULES, Finding,
+                    TENSOR_DATA_WHITELIST)
 
 __all__ = [
     "Finding",
     "OpCase",
+    "PROGRAM_RULES",
     "RULES",
     "TENSOR_DATA_WHITELIST",
     "check_case",

@@ -1,0 +1,705 @@
+"""The shipped whole-program analyses (``repro check --dataflow``).
+
+Four may-analyses run over the :class:`~repro.check.callgraph.Program`
+call graph, using the CFG + dataflow engine from
+:mod:`repro.check.dataflow` for the intra-function parts:
+
+``rng-stream``
+    RNG draw order must be deterministic: no unseeded ``default_rng()``
+    and no draws from module-global generators inside code reachable
+    from a worker-pool target (per-worker draw interleaving is
+    scheduler-dependent), and no draws inside iteration whose order is
+    not fixed (``set`` iteration, ``as_completed``).
+
+``parallel-safety``
+    Nothing mutable crosses a worker boundary by accident: closures
+    handed to pools must not capture mutable shared state, live RNGs /
+    open file handles must not be submitted to process pools, and
+    worker-reachable code must not mutate module globals.
+
+``artifact-atomicity``
+    Run artifacts (``*.json`` / ``*.jsonl`` / ``*.npz``) are written
+    atomically: any function that writes one without also performing an
+    ``os.replace``-style rename (the signature of the stage-then-swap
+    helpers) is flagged.
+
+``trace-safety``
+    While a compile trace is recording, tensor buffers are load-bearing:
+    ``.data`` mutation reachable from a ``with trace():`` block corrupts
+    the recorded program, and ``backward()`` under ``no_grad()`` is a
+    contradiction.
+
+All four are *may*-analyses biased to miss rather than invent: an edge
+the call graph cannot resolve produces no finding.  Intentional
+exceptions carry inline ``# repro-check: disable=`` waivers; residual
+accepted findings live in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from .callgraph import FunctionInfo, ModuleInfo, Program, WorkerSite
+from .dataflow import TagEnv, cfg_for_function
+from .rules import (Finding, PROGRAM_RULES, TENSOR_DATA_WHITELIST, _dotted,
+                    program_rule)
+
+#: Draw methods of ``numpy.random.Generator`` (and legacy RandomState).
+GENERATOR_DRAWS = frozenset({
+    "random", "standard_normal", "normal", "uniform", "integers",
+    "randint", "choice", "shuffle", "permutation", "permuted",
+    "exponential", "poisson", "binomial", "beta", "gamma", "bytes",
+    "rand", "randn",
+})
+
+#: Methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "popitem",
+})
+
+_ARTIFACT_SUFFIXES = (".json", ".jsonl", ".npz")
+
+_MUTABLE_VALUE_CALLS = frozenset({"list", "dict", "set", "defaultdict",
+                                  "OrderedDict", "Counter", "deque"})
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _is_mutable_value(expr: ast.AST) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in _MUTABLE_VALUE_CALLS)
+
+
+def _top_level_assigns(module: ModuleInfo) -> Iterator[ast.AST]:
+    for node in module.tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            yield node
+
+
+def global_rng_names(module: ModuleInfo) -> Set[str]:
+    """Module-level names bound to a numpy Generator at import time."""
+    names: Set[str] = set()
+    for node in _top_level_assigns(module):
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        leaf = _dotted(value.func).rpartition(".")[2]
+        if leaf in ("default_rng", "RandomState"):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def mutable_global_names(module: ModuleInfo) -> Set[str]:
+    """Module-level names bound to mutable containers at import time."""
+    names: Set[str] = set()
+    for node in _top_level_assigns(module):
+        if node.value is not None and _is_mutable_value(node.value):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def make_evaluate(rng_globals: Set[str]):
+    """The tag-evaluation callback feeding :class:`TagEnv`."""
+
+    def evaluate(expr: ast.AST,
+                 env: Dict[str, FrozenSet[str]]) -> FrozenSet[str]:
+        if isinstance(expr, ast.Name):
+            tags = env.get(expr.id, frozenset())
+            if expr.id in rng_globals:
+                tags = tags | {"rng", "rng-global"}
+            return tags
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return frozenset({"set", "mutable"})
+        if isinstance(expr, (ast.List, ast.ListComp, ast.Dict,
+                             ast.DictComp)):
+            return frozenset({"mutable"})
+        if isinstance(expr, ast.IfExp):
+            return evaluate(expr.body, env) | evaluate(expr.orelse, env)
+        if isinstance(expr, ast.BoolOp):
+            tags: FrozenSet[str] = frozenset()
+            for value in expr.values:
+                tags |= evaluate(value, env)
+            return tags
+        if isinstance(expr, (ast.Await, ast.NamedExpr, ast.Starred)):
+            return evaluate(expr.value, env)
+        if isinstance(expr, ast.Call):
+            name = _dotted(expr.func)
+            leaf = name.rpartition(".")[2]
+            if leaf == "default_rng":
+                seeded = bool(expr.args) or any(
+                    kw.arg == "seed" for kw in expr.keywords)
+                return frozenset({"rng"}) if seeded \
+                    else frozenset({"rng", "rng-unseeded"})
+            if leaf == "RandomState":
+                return frozenset({"rng"})
+            if name == "open":
+                return frozenset({"file"})
+            if leaf in ("set", "frozenset") and not name.startswith("self."):
+                return frozenset({"set"})
+            if leaf == "as_completed":
+                return frozenset({"unordered"})
+            if leaf in ("sorted", "list", "tuple"):
+                # Ordering-fixing wrappers launder the unordered tags.
+                inner: FrozenSet[str] = frozenset()
+                for arg in expr.args:
+                    inner |= evaluate(arg, env)
+                return inner - {"set", "unordered", "mutable"}
+            if leaf == "spawn" and isinstance(expr.func, ast.Attribute):
+                # Generator.spawn() yields child generators.
+                base = evaluate(expr.func.value, env)
+                if "rng" in base:
+                    return frozenset({"rng"})
+            return frozenset()
+        return frozenset()
+
+    return evaluate
+
+
+def _statements_under(stmts: Iterable[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement nested under ``stmts``, not descending into
+    nested function/class definitions (they are analysed separately)."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, field_name, None)
+            if inner:
+                yield from _statements_under(inner)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _statements_under(handler.body)
+        for case in getattr(stmt, "cases", []) or []:
+            yield from _statements_under(case.body)
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expressions evaluated *at* this statement (compound statements
+    own only their header; their bodies are separate CFG statements)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef, ast.Try)):
+        return
+    elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        yield stmt.subject
+    else:
+        yield stmt
+
+
+def _rng_draws(root: ast.AST, env: Dict[str, FrozenSet[str]],
+               rng_globals: Set[str]) -> Iterator[ast.Call]:
+    """Calls in ``root`` that draw from an rng-tagged receiver."""
+    for node in ast.walk(root):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in GENERATOR_DRAWS):
+            continue
+        base = node.func.value
+        if not isinstance(base, ast.Name):
+            continue
+        tags = env.get(base.id, frozenset())
+        if base.id in rng_globals:
+            tags = tags | {"rng", "rng-global"}
+        if "rng" in tags:
+            yield node
+
+
+def _function_facts(info: FunctionInfo, rng_globals: Set[str]):
+    """(cfg, id(stmt)->env) for one function, or None when unbuildable."""
+    if not isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+        return None
+    try:
+        cfg = cfg_for_function(info.node)
+        facts = TagEnv(make_evaluate(rng_globals)).statement_facts(cfg)
+    except (RuntimeError, RecursionError):  # pragma: no cover - guard
+        return None
+    return cfg, facts
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Parameter and locally-assigned names of a function node."""
+    bound: Set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda)):
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            bound.add(arg.arg)
+    body = node.body if isinstance(node.body, list) else [ast.Expr(node.body)]
+    for stmt in _statements_under(body):
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.add(stmt.name)
+        for target in targets:
+            for node_ in ast.walk(target):
+                # Only Store-context names: the base of a subscript /
+                # attribute store (`g[k] = v`) is *read*, not bound.
+                if isinstance(node_, ast.Name) and \
+                        isinstance(node_.ctx, ast.Store):
+                    bound.add(node_.id)
+    return bound
+
+
+def _free_names(node: ast.AST) -> Set[str]:
+    """Names a function loads but does not bind (closure captures)."""
+    bound = _bound_names(node)
+    free: Set[str] = set()
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                    and sub.id not in bound:
+                free.add(sub.id)
+    return free
+
+
+def _display(program: Program, module_name: str) -> str:
+    module = program.modules.get(module_name)
+    return module.display if module is not None else module_name
+
+
+# ----------------------------------------------------------------------
+# 1. RNG-stream discipline
+# ----------------------------------------------------------------------
+@program_rule(
+    "rng-stream",
+    "RNG draw order must be deterministic: no unseeded or module-global "
+    "generators in worker-reachable code, no draws inside unordered "
+    "iteration (set / as_completed)")
+def _rng_stream(program: Program) -> Iterator[Finding]:
+    worker_reach = program.worker_reachable()
+    for qualname, info in program.functions.items():
+        module = program.modules.get(info.module)
+        if module is None:
+            continue
+        rng_globals = global_rng_names(module)
+        built = _function_facts(info, rng_globals)
+        if built is None:
+            continue
+        cfg, facts = built
+        in_worker = qualname in worker_reach
+
+        for block in cfg.blocks:
+            for stmt in block.statements:
+                env = facts.get(id(stmt), {})
+                if in_worker:
+                    for expr in _own_exprs(stmt):
+                        for node in ast.walk(expr):
+                            if not isinstance(node, ast.Call):
+                                continue
+                            leaf = _dotted(node.func).rpartition(".")[2]
+                            if leaf == "default_rng" and not (
+                                    node.args or any(
+                                        kw.arg == "seed"
+                                        for kw in node.keywords)):
+                                yield Finding(
+                                    "rng-stream",
+                                    _display(program, info.module),
+                                    node.lineno,
+                                    f"unseeded default_rng() in "
+                                    f"worker-reachable `{qualname}`; "
+                                    "derive the worker seed from the "
+                                    "task key instead",
+                                )
+                        for draw in _rng_draws(expr, env, rng_globals):
+                            base = draw.func.value.id
+                            tags = env.get(base, frozenset())
+                            if "rng-global" in tags or base in rng_globals:
+                                yield Finding(
+                                    "rng-stream",
+                                    _display(program, info.module),
+                                    draw.lineno,
+                                    f"draw from module-global RNG "
+                                    f"`{base}` in worker-reachable "
+                                    f"`{qualname}`; worker interleaving "
+                                    "makes the stream nondeterministic",
+                                )
+                # Unordered-iteration draws (any function).
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    evaluate = make_evaluate(rng_globals)
+                    iter_tags = evaluate(stmt.iter, env)
+                    if not (iter_tags & {"set", "unordered"}):
+                        continue
+                    for body_stmt in _statements_under(stmt.body):
+                        body_env = facts.get(id(body_stmt), env)
+                        for expr in _own_exprs(body_stmt):
+                            for draw in _rng_draws(expr, body_env,
+                                                   rng_globals):
+                                kind = "as_completed" \
+                                    if "unordered" in iter_tags else "set"
+                                yield Finding(
+                                    "rng-stream",
+                                    _display(program, info.module),
+                                    draw.lineno,
+                                    f"RNG draw inside iteration over "
+                                    f"{kind} in `{qualname}`; iteration "
+                                    "order is not fixed, so the draw "
+                                    "sequence is nondeterministic",
+                                )
+
+
+# ----------------------------------------------------------------------
+# 2. Parallel-safety
+# ----------------------------------------------------------------------
+def _site_statement(site: WorkerSite, cfg) -> Optional[ast.stmt]:
+    for block in cfg.blocks:
+        for stmt in block.statements:
+            if any(node is site.call for node in ast.walk(stmt)):
+                return stmt
+    return None
+
+
+@program_rule(
+    "parallel-safety",
+    "nothing mutable crosses a worker boundary by accident: no mutable "
+    "captures in submitted closures, no live RNG / open file handle "
+    "arguments to process pools, no module-global mutation in "
+    "worker-reachable code")
+def _parallel_safety(program: Program) -> Iterator[Finding]:
+    sites = program.worker_sites()
+    sites_by_caller: Dict[str, List[WorkerSite]] = {}
+    for site in sites:
+        sites_by_caller.setdefault(site.caller, []).append(site)
+
+    # (a) closure captures + (b) fork-unsafe submit arguments.
+    for caller, caller_sites in sites_by_caller.items():
+        info = program.functions.get(caller)
+        if info is None:
+            continue
+        module = program.modules.get(info.module)
+        if module is None:
+            continue
+        rng_globals = global_rng_names(module)
+        mutable_globals = mutable_global_names(module)
+        built = _function_facts(info, rng_globals)
+        cfg, facts = built if built is not None else (None, {})
+        for site in caller_sites:
+            display = _display(program, site.module)
+            target = site.target_node
+            if isinstance(target, (ast.Lambda,)):
+                captured = _free_names(target) & (
+                    mutable_globals | {"self"})
+                for name in sorted(captured):
+                    yield Finding(
+                        "parallel-safety", display, target.lineno,
+                        f"closure submitted to a worker pool captures "
+                        f"mutable shared state `{name}`; pass an "
+                        "immutable snapshot as an argument instead",
+                    )
+            if cfg is not None and site.kind == "process":
+                stmt = _site_statement(site, cfg)
+                env = facts.get(id(stmt), {}) if stmt is not None else {}
+                payload = list(site.call.args[1:]) + [
+                    kw.value for kw in site.call.keywords]
+                evaluate = make_evaluate(rng_globals)
+                for arg in payload:
+                    tags = evaluate(arg, env)
+                    if "rng" in tags:
+                        yield Finding(
+                            "parallel-safety", display, arg.lineno,
+                            f"live RNG submitted across the process "
+                            f"boundary in `{caller}`; send a seed and "
+                            "construct the generator in the worker",
+                        )
+                    if "file" in tags:
+                        yield Finding(
+                            "parallel-safety", display, arg.lineno,
+                            f"open file handle submitted across the "
+                            f"process boundary in `{caller}`; pass the "
+                            "path and open it in the worker",
+                        )
+
+    # (c) module-global mutation in worker-reachable code.
+    worker_reach = program.worker_reachable()
+    for qualname in sorted(worker_reach):
+        info = program.functions.get(qualname)
+        if info is None or not isinstance(
+                info.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        module = program.modules.get(info.module)
+        if module is None:
+            continue
+        shared = mutable_global_names(module) | module.global_names
+        bound = _bound_names(info.node)
+        display = _display(program, info.module)
+        for stmt in _statements_under(info.node.body):
+            for finding in _global_mutations(stmt, shared, bound,
+                                             display, qualname):
+                yield finding
+
+
+def _global_mutations(stmt: ast.stmt, shared: Set[str], bound: Set[str],
+                      display: str, qualname: str) -> Iterator[Finding]:
+    def base_name(expr: ast.AST) -> Optional[str]:
+        while isinstance(expr, (ast.Subscript, ast.Attribute)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    declared_global: Set[str] = set()
+    if isinstance(stmt, ast.Global):
+        declared_global.update(stmt.names)
+        for name in stmt.names:
+            yield Finding(
+                "parallel-safety", display, stmt.lineno,
+                f"worker-reachable `{qualname}` rebinds module global "
+                f"`{name}`; worker copies diverge from the parent "
+                "silently",
+            )
+        return
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            name = base_name(target)
+            if name is not None and name in shared and name not in bound:
+                yield Finding(
+                    "parallel-safety", display, stmt.lineno,
+                    f"worker-reachable `{qualname}` mutates module "
+                    f"global `{name}`; worker-side mutation is invisible "
+                    "to the parent process",
+                )
+    for node in ast.walk(stmt):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and isinstance(node.func.value, ast.Name)):
+            name = node.func.value.id
+            if name in shared and name not in bound:
+                yield Finding(
+                    "parallel-safety", display, node.lineno,
+                    f"worker-reachable `{qualname}` mutates module "
+                    f"global `{name}` via .{node.func.attr}(); "
+                    "worker-side mutation is invisible to the parent "
+                    "process",
+                )
+
+
+# ----------------------------------------------------------------------
+# 3. Artifact atomicity
+# ----------------------------------------------------------------------
+def _writes_artifact(call: ast.Call) -> Optional[str]:
+    """Describe the artifact write this call performs, or None."""
+    name = _dotted(call.func)
+    leaf = name.rpartition(".")[2]
+    if leaf in ("savez", "savez_compressed", "save") and \
+            name.rpartition(".")[0] in ("np", "numpy"):
+        return f"{name}()"
+    if name in ("json.dump",):
+        return "json.dump()"
+    if name == "open" or leaf == "open":
+        mode = ""
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            mode = str(call.args[1].value)
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = str(kw.value.value)
+        if "w" not in mode:
+            return None
+        for node in ast.walk(call):
+            if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                             str):
+                if node.value.endswith(_ARTIFACT_SUFFIXES):
+                    return f"open(..., '{mode}')"
+    if leaf == "write_text":
+        return None   # suffix not visible at the call site
+    return None
+
+
+@program_rule(
+    "artifact-atomicity",
+    "run artifacts (*.json / *.jsonl / *.npz) must be written via the "
+    "stage-then-os.replace pattern (atomic_savez / atomic helpers); a "
+    "crash mid-write must not corrupt the artifact")
+def _artifact_atomicity(program: Program) -> Iterator[Finding]:
+    for qualname, info in program.functions.items():
+        body: List[ast.stmt]
+        if isinstance(info.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = info.node.body
+        elif isinstance(info.node, ast.Module):
+            body = [s for s in info.node.body
+                    if not isinstance(s, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef))]
+        else:
+            continue
+        calls = [node for stmt in _statements_under(body)
+                 for node in ast.walk(stmt)
+                 if isinstance(node, ast.Call)]
+        atomic = False
+        for call in calls:
+            name = _dotted(call.func)
+            leaf = name.rpartition(".")[2]
+            if name == "os.replace" or leaf in ("atomic_savez",
+                                                "atomic_write_json"):
+                atomic = True
+            if leaf == "replace" and isinstance(call.func, ast.Attribute) \
+                    and len(call.args) == 1 and not call.keywords:
+                atomic = True   # Path.replace(target)
+        if atomic:
+            continue
+        for call in calls:
+            what = _writes_artifact(call)
+            if what is not None:
+                yield Finding(
+                    "artifact-atomicity",
+                    _display(program, info.module), call.lineno,
+                    f"{what} in `{qualname}` writes a run artifact "
+                    "without the stage-then-os.replace pattern; route "
+                    "it through the atomic helpers so a crash cannot "
+                    "leave a torn file",
+                )
+
+
+# ----------------------------------------------------------------------
+# 4. Trace/grad-mode safety
+# ----------------------------------------------------------------------
+def _is_data_write(stmt: ast.stmt) -> bool:
+    def is_data_target(target: ast.AST) -> bool:
+        if isinstance(target, ast.Attribute) and target.attr == "data":
+            return True
+        if isinstance(target, ast.Subscript):
+            return is_data_target(target.value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(is_data_target(e) for e in target.elts)
+        return False
+
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    return any(is_data_target(t) for t in targets)
+
+
+def _whitelisted(module_name: str) -> bool:
+    path = module_name.replace(".", "/") + ".py"
+    return any(path.endswith(allowed) for allowed in TENSOR_DATA_WHITELIST)
+
+
+def _with_leaf(stmt: ast.stmt, leaf: str) -> bool:
+    if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return False
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and \
+                _dotted(expr.func).rpartition(".")[2] == leaf:
+            return True
+    return False
+
+
+@program_rule(
+    "trace-safety",
+    "no `.data` mutation reachable while a compile trace is recording, "
+    "and no backward() under no_grad()")
+def _trace_safety(program: Program) -> Iterator[Finding]:
+    # Seeds: every call made lexically inside a `with trace():` body.
+    seeds: List[str] = []
+    trace_owners: Dict[str, str] = {}
+    for qualname, info in program.functions.items():
+        if not isinstance(info.node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+            continue
+        module = program.modules.get(info.module)
+        if module is None:
+            continue
+        for stmt in _statements_under(info.node.body):
+            if _with_leaf(stmt, "trace"):
+                for inner in _statements_under(stmt.body):
+                    # Lexical `.data` writes inside the trace body.
+                    if _is_data_write(inner) and not _whitelisted(
+                            info.module):
+                        yield Finding(
+                            "trace-safety",
+                            _display(program, info.module), inner.lineno,
+                            f"`.data` write inside the `with trace():` "
+                            f"body of `{qualname}` mutates a buffer the "
+                            "trace has already recorded",
+                        )
+                    for node in ast.walk(inner):
+                        if isinstance(node, ast.Call):
+                            resolved = program.resolve_dotted(
+                                module, node.func, info.class_name)
+                            target = program._callable_qualname(resolved)
+                            if target is not None and \
+                                    target in program.functions:
+                                seeds.append(target)
+                                trace_owners.setdefault(target, qualname)
+            # backward() under no_grad(): a contradiction anywhere.
+            if _with_leaf(stmt, "no_grad"):
+                for inner in _statements_under(stmt.body):
+                    for node in ast.walk(inner):
+                        if isinstance(node, ast.Call) and isinstance(
+                                node.func, ast.Attribute) and \
+                                node.func.attr == "backward":
+                            yield Finding(
+                                "trace-safety",
+                                _display(program, info.module),
+                                node.lineno,
+                                f"backward() under no_grad() in "
+                                f"`{qualname}`; gradients recorded "
+                                "under no_grad are silently wrong",
+                            )
+
+    reachable = program.reachable(seeds)
+    for qualname in sorted(reachable):
+        info = program.functions.get(qualname)
+        if info is None or _whitelisted(info.module):
+            continue
+        if not isinstance(info.node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+            continue
+        for stmt in _statements_under(info.node.body):
+            if _is_data_write(stmt):
+                owner = trace_owners.get(qualname, "a trace context")
+                yield Finding(
+                    "trace-safety",
+                    _display(program, info.module), stmt.lineno,
+                    f"`.data` write in `{qualname}` is reachable from "
+                    f"the compile trace opened in `{owner}`; the "
+                    "recorded program will replay the stale buffer",
+                )
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_program_analyses(program: Program) -> List[Finding]:
+    """Run every registered program rule over the parsed package."""
+    findings: List[Finding] = []
+    for entry in PROGRAM_RULES.values():
+        findings.extend(entry.check(program))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

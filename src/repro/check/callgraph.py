@@ -1,0 +1,502 @@
+"""Package-wide import and call graph for the whole-program analyses.
+
+The per-file linter cannot see that ``_flow_worker`` — three modules
+away from the ``ProcessPoolExecutor.submit`` that launches it — draws
+from an RNG, or that ``with trace():`` in the trainer reaches a
+``.data`` mutation in the model.  This module builds the approximation
+of the program those questions need:
+
+- every module under a package root is parsed once into a
+  :class:`ModuleInfo` with its import table resolved to fully
+  qualified names (``np`` -> ``numpy``, ``from .pnr import PnRFlow``
+  -> ``repro.flow.pnr.PnRFlow``);
+- every function/method/lambda becomes a :class:`FunctionInfo` under a
+  stable qualified name (``repro.flow.cache.FlowCache.store``), with
+  module top-level code collected under ``<module>``;
+- call expressions are resolved *best effort* to those qualified names
+  (direct names, imported names, module attributes, ``self.method``,
+  class instantiation -> ``__init__``) and recorded as edges.
+
+Resolution is deliberately approximate: an attribute call on an object
+of unknown type produces no edge.  For the shipped may-analyses that
+is the right bias — a missed edge can miss a finding, but never
+invents one — and the committed findings baseline covers the residue.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Program", "WorkerSite"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or lambda in the program."""
+
+    qualname: str                  # repro.flow.cache.FlowCache.store
+    module: str                    # repro.flow.cache
+    node: ast.AST                  # FunctionDef / AsyncFunctionDef / Lambda
+    lineno: int
+    class_name: Optional[str] = None
+    calls: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its import table."""
+
+    name: str                      # repro.flow.cache
+    path: Path
+    display: str                   # path as shown in findings
+    tree: ast.Module
+    #: local name -> fully qualified target ("np" -> "numpy").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level names assigned at the top level (globals).
+    global_names: Set[str] = field(default_factory=set)
+
+
+class WorkerSite:
+    """One call that hands a callable to a worker pool or thread."""
+
+    __slots__ = ("kind", "caller", "call", "target_node", "target_qualname",
+                 "lineno", "module")
+
+    def __init__(self, kind: str, caller: str, call: ast.Call,
+                 target_node: Optional[ast.AST],
+                 target_qualname: Optional[str], module: str) -> None:
+        self.kind = kind              # "process" | "thread" | "unknown"
+        self.caller = caller          # qualname of the submitting function
+        self.call = call
+        self.target_node = target_node
+        self.target_qualname = target_qualname
+        self.lineno = call.lineno
+        self.module = module
+
+
+def _module_name(root: Path, package: str, path: Path) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package] + parts)
+
+
+class Program:
+    """The parsed package: modules, functions, and resolved call edges."""
+
+    def __init__(self, package: str, root: Path) -> None:
+        self.package = package
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: id(def-node) -> qualname, for resolving inline lambdas etc.
+        self.qualname_of_node: Dict[int, str] = {}
+        #: class qualname -> set of method names.
+        self.class_methods: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, root: Union[str, Path],
+              package: Optional[str] = None) -> "Program":
+        """Parse every ``.py`` under ``root`` (a package directory)."""
+        root = Path(root).resolve()
+        package = package or root.name
+        program = cls(package, root)
+        for path in sorted(root.rglob("*.py")):
+            name = _module_name(root, package, path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue   # the linter reports unparseable files
+            try:
+                display = str(path.relative_to(Path.cwd()))
+            except ValueError:
+                display = str(path)
+            module = ModuleInfo(name=name, path=path, display=display,
+                                tree=tree)
+            program.modules[name] = module
+            program._index_imports(module)
+            program._index_definitions(module)
+        for module in program.modules.values():
+            program._index_calls(module)
+        return program
+
+    # -- pass 1: imports and definitions --------------------------------
+    def _index_imports(self, module: ModuleInfo) -> None:
+        pkg_parts = module.name.split(".")
+        is_package = (module.path.name == "__init__.py")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+                    module.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative import: drop `level` trailing components
+                    # (a package module counts as its own level-1 base).
+                    base_parts = pkg_parts if is_package \
+                        else pkg_parts[:-1]
+                    if node.level > 1:
+                        base_parts = base_parts[:len(base_parts)
+                                                - (node.level - 1)]
+                    base = ".".join(base_parts)
+                    prefix = f"{base}.{node.module}" if node.module \
+                        else base
+                else:
+                    prefix = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = f"{prefix}.{alias.name}" \
+                        if prefix else alias.name
+
+    def _index_definitions(self, module: ModuleInfo) -> None:
+        program = self
+
+        class Indexer(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.scope: List[str] = []
+                self.class_stack: List[str] = []
+
+            def _register(self, node: ast.AST, name: str) -> None:
+                qualname = ".".join([module.name] + self.scope + [name])
+                info = FunctionInfo(
+                    qualname=qualname, module=module.name, node=node,
+                    lineno=getattr(node, "lineno", 0),
+                    class_name=self.class_stack[-1]
+                    if self.class_stack else None,
+                )
+                program.functions[qualname] = info
+                program.qualname_of_node[id(node)] = qualname
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._register(node, node.name)
+                self.scope.append(node.name)
+                self.generic_visit(node)
+                self.scope.pop()
+
+            def visit_AsyncFunctionDef(self, node) -> None:
+                self.visit_FunctionDef(node)
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                self._register(node, f"<lambda@{node.lineno}>")
+                self.generic_visit(node)
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                class_qual = ".".join([module.name] + self.scope
+                                      + [node.name])
+                methods = {n.name for n in node.body
+                           if isinstance(n, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))}
+                program.class_methods[class_qual] = methods
+                self.scope.append(node.name)
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+                self.scope.pop()
+
+        Indexer().visit(module.tree)
+        # Top-level code (including top-level assignment targets).
+        top = FunctionInfo(qualname=f"{module.name}.<module>",
+                           module=module.name, node=module.tree, lineno=1)
+        self.functions[top.qualname] = top
+        self.qualname_of_node[id(module.tree)] = top.qualname
+        for node in module.tree.body:
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module.global_names.add(target.id)
+
+    # -- name resolution -------------------------------------------------
+    def resolve_dotted(self, module: ModuleInfo, node: ast.AST,
+                       class_name: Optional[str] = None) -> Optional[str]:
+        """Fully qualified dotted name for a Name/Attribute chain.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng``;
+        ``self.method`` (inside a class) -> the method's qualname;
+        unresolvable chains -> None.
+        """
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        head = cursor.id
+        parts.append(head)
+        parts.reverse()
+
+        if head == "self" and class_name is not None and len(parts) >= 2:
+            class_qual = f"{module.name}.{class_name}"
+            if parts[1] in self.class_methods.get(class_qual, ()):  # method
+                return ".".join([class_qual] + parts[1:])
+            return None
+        target = module.imports.get(head)
+        if target is not None:
+            return ".".join([target] + parts[1:])
+        # A name defined in this module (function, class, global).
+        local = f"{module.name}.{head}"
+        if local in self.functions or local in self.class_methods \
+                or head in module.global_names:
+            return ".".join([local] + parts[1:])
+        return None
+
+    def canonicalize(self, name: str, _depth: int = 0) -> str:
+        """Chase re-export aliases: ``repro.util.reset_timings`` (a
+        ``from .timing import reset_timings`` in the package __init__)
+        canonicalizes to ``repro.util.timing.reset_timings``."""
+        if name in self.functions or name in self.class_methods \
+                or _depth > 8:
+            return name
+        parts = name.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            target = module.imports.get(parts[i])
+            if target is not None:
+                return self.canonicalize(
+                    ".".join([target] + parts[i + 1:]), _depth + 1)
+            break
+        return name
+
+    def _callable_qualname(self, resolved: Optional[str]) -> Optional[str]:
+        """Map a resolved dotted name onto a known function, if any."""
+        if resolved is None:
+            return None
+        resolved = self.canonicalize(resolved)
+        if resolved in self.functions:
+            return resolved
+        if resolved in self.class_methods:
+            init = f"{resolved}.__init__"
+            return init if init in self.functions else resolved
+        return resolved   # external (numpy.random.default_rng, ...)
+
+    # -- pass 2: call edges ----------------------------------------------
+    def _index_calls(self, module: ModuleInfo) -> None:
+        program = self
+
+        class CallIndexer(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[FunctionInfo] = [
+                    program.functions[f"{module.name}.<module>"]]
+                self.class_stack: List[str] = []
+
+            def _enter(self, node: ast.AST) -> Optional[FunctionInfo]:
+                qualname = program.qualname_of_node.get(id(node))
+                return program.functions.get(qualname) \
+                    if qualname else None
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+
+            def visit_FunctionDef(self, node) -> None:
+                info = self._enter(node)
+                if info is None:   # pragma: no cover - defensive
+                    return
+                self.stack.append(info)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_AsyncFunctionDef(self, node) -> None:
+                self.visit_FunctionDef(node)
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                self.visit_FunctionDef(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                caller = self.stack[-1]
+                resolved = program.resolve_dotted(
+                    module, node.func,
+                    self.class_stack[-1] if self.class_stack else None)
+                target = program._callable_qualname(resolved)
+                if target is not None:
+                    caller.calls.add(target)
+                self.generic_visit(node)
+
+        CallIndexer().visit(module.tree)
+
+    # -- queries ---------------------------------------------------------
+    def reachable(self, seeds: Iterable[str]) -> Set[str]:
+        """Transitive closure of call edges from ``seeds`` (inclusive).
+
+        Instantiating a class pulls in *all* of its methods: an object
+        built inside a worker may have any method invoked there, and
+        the may-analyses want that over-approximation.
+        """
+        seen: Set[str] = set()
+        stack = [s for s in seeds if s is not None]
+        while stack:
+            name = self.canonicalize(stack.pop())
+            if name in seen:
+                continue
+            seen.add(name)
+            # Instantiating a class makes every method callable on the
+            # resulting object: expand the class behind a name (or
+            # behind its resolved ``__init__``).
+            base = name[:-len(".__init__")] \
+                if name.endswith(".__init__") else name
+            if base in self.class_methods:
+                for method in self.class_methods[base]:
+                    stack.append(f"{base}.{method}")
+            info = self.functions.get(name)
+            if info is None:
+                continue
+            for callee in info.calls:
+                if callee not in seen:
+                    stack.append(callee)
+        return seen
+
+    def functions_in(self, names: Set[str]) -> List[FunctionInfo]:
+        return [info for qual, info in self.functions.items()
+                if qual in names]
+
+    # -- worker-pool discovery -------------------------------------------
+    _POOL_HINTS: Tuple[str, ...] = ("pool", "executor", "ex")
+
+    def worker_sites(self) -> List[WorkerSite]:
+        """Every discovered submit/Thread/Process hand-off in the program."""
+        sites: List[WorkerSite] = []
+        for module in self.modules.values():
+            sites.extend(self._worker_sites_in(module))
+        return sites
+
+    def _worker_sites_in(self, module: ModuleInfo) -> List[WorkerSite]:
+        program = self
+        sites: List[WorkerSite] = []
+
+        class Finder(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[str] = [f"{module.name}.<module>"]
+                self.class_stack: List[str] = []
+                #: variable name -> "process" | "thread" pool kind.
+                self.pool_vars: Dict[str, str] = {}
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+
+            def visit_FunctionDef(self, node) -> None:
+                qualname = program.qualname_of_node.get(id(node))
+                self.stack.append(qualname or self.stack[-1])
+                self.generic_visit(node)
+                self.stack.pop()
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
+            def _pool_kind_of_expr(self, expr: ast.AST) -> Optional[str]:
+                if not isinstance(expr, ast.Call):
+                    return None
+                resolved = program.resolve_dotted(
+                    module, expr.func,
+                    self.class_stack[-1] if self.class_stack else None)
+                if resolved is None and isinstance(expr.func, ast.Name):
+                    resolved = expr.func.id
+                if resolved is None:
+                    return None
+                leaf = resolved.rsplit(".", 1)[-1]
+                if leaf == "ProcessPoolExecutor" or resolved.startswith(
+                        "multiprocessing"):
+                    return "process"
+                if leaf == "ThreadPoolExecutor":
+                    return "thread"
+                return None
+
+            def _note_binding(self, target: ast.AST,
+                              value: ast.AST) -> None:
+                kind = self._pool_kind_of_expr(value)
+                if kind and isinstance(target, ast.Name):
+                    self.pool_vars[target.id] = kind
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                for target in node.targets:
+                    self._note_binding(target, node.value)
+                self.generic_visit(node)
+
+            def visit_With(self, node) -> None:
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._note_binding(item.optional_vars,
+                                           item.context_expr)
+                self.generic_visit(node)
+
+            visit_AsyncWith = visit_With
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self.generic_visit(node)
+                target_node: Optional[ast.AST] = None
+                kind = "unknown"
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    recv = func.value
+                    recv_name = recv.id if isinstance(recv, ast.Name) \
+                        else ""
+                    recv_kind = self.pool_vars.get(recv_name)
+                    if func.attr in ("submit", "apply_async"):
+                        if node.args:
+                            target_node = node.args[0]
+                        kind = recv_kind or "process"
+                    elif func.attr == "map" and (
+                            recv_kind is not None
+                            or any(h in recv_name.lower()
+                                   for h in Program._POOL_HINTS)):
+                        if node.args:
+                            target_node = node.args[0]
+                        kind = recv_kind or "unknown"
+                if target_node is None:
+                    # Constructor hand-offs — both the bare-name and the
+                    # ``threading.Thread`` attribute spellings.
+                    resolved = program.resolve_dotted(
+                        module, func,
+                        self.class_stack[-1] if self.class_stack
+                        else None) or ""
+                    leaf = resolved.rsplit(".", 1)[-1]
+                    if leaf in ("Thread", "Process") or resolved in (
+                            "threading.Thread",
+                            "multiprocessing.Process"):
+                        for kw in node.keywords:
+                            if kw.arg == "target":
+                                target_node = kw.value
+                        kind = "process" if leaf == "Process" \
+                            else "thread"
+                if target_node is None:
+                    return
+                target_qual = program.qualname_of_node.get(
+                    id(target_node))
+                if target_qual is None:
+                    resolved = program.resolve_dotted(
+                        module, target_node,
+                        self.class_stack[-1] if self.class_stack
+                        else None)
+                    target_qual = program._callable_qualname(resolved)
+                sites.append(WorkerSite(
+                    kind=kind, caller=self.stack[-1], call=node,
+                    target_node=target_node,
+                    target_qualname=target_qual, module=module.name))
+
+        Finder().visit(module.tree)
+        return sites
+
+    # ------------------------------------------------------------------
+    def worker_reachable(self) -> Set[str]:
+        """Qualnames of every function reachable from a worker target."""
+        seeds = [site.target_qualname for site in self.worker_sites()
+                 if site.target_qualname is not None]
+        return self.reachable(seeds)

@@ -1,0 +1,475 @@
+"""Per-function control-flow graphs + a generic forward dataflow engine.
+
+The per-file rules in :mod:`repro.check.rules` see one statement at a
+time; the whole-program analyses in :mod:`repro.check.analyses` need to
+know what a *variable* holds at a *point* — is ``rng`` still the seeded
+Generator from line 12 when line 40 draws from it inside a worker
+callback?  That question is a forward dataflow problem, and this module
+provides the two generic halves of its answer:
+
+- :class:`CFG` — a per-function control-flow graph over raw AST
+  statements.  Blocks hold statement lists; edges encode the possible
+  successors, including loop back edges, ``break``/``continue`` exits,
+  exception edges from a ``try`` body into its handlers, and the
+  implicit loops of comprehensions.
+- :class:`ForwardAnalysis` — a worklist fixed-point engine.  Subclasses
+  supply the lattice (``initial``/``join``) and a per-statement
+  ``transfer`` function; the engine iterates block facts to convergence
+  (monotone transfers over a finite lattice terminate) and can then
+  replay transfers to report the fact *in force at every statement*.
+
+The engine is deliberately lattice-agnostic: the bundled
+:class:`TagEnv` environment (variable -> set of abstract tags, joined
+pointwise by union) is what the shipped analyses use, but the synthetic
+lattices in ``tests/check/test_dataflow.py`` drive the same engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
+
+__all__ = ["Block", "CFG", "ForwardAnalysis", "TagEnv", "cfg_for_function",
+           "cfg_for_comprehension"]
+
+
+class Block:
+    """One straight-line run of statements with explicit successors."""
+
+    __slots__ = ("bid", "label", "statements", "successors")
+
+    def __init__(self, bid: int, label: str = "") -> None:
+        self.bid = bid
+        self.label = label
+        self.statements: List[ast.stmt] = []
+        self.successors: List["Block"] = []
+
+    def add_edge(self, other: "Block") -> None:
+        if other not in self.successors:
+            self.successors.append(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Block({self.bid}, {self.label!r}, "
+                f"{len(self.statements)} stmts, "
+                f"-> {[s.bid for s in self.successors]})")
+
+
+class CFG:
+    """Control-flow graph of one function (or comprehension) body."""
+
+    def __init__(self, entry: Block, exit_block: Block,
+                 blocks: List[Block]) -> None:
+        self.entry = entry
+        self.exit = exit_block
+        self.blocks = blocks
+
+    def predecessors(self) -> Dict[int, List[Block]]:
+        preds: Dict[int, List[Block]] = {b.bid: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ.bid].append(block)
+        return preds
+
+
+class _Builder:
+    """Structured-statement -> CFG lowering."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> CFG:
+        entry = self.new_block("entry")
+        exit_block = self.new_block("exit")
+        end = self._sequence(body, entry, [], exit_block)
+        if end is not None:
+            end.add_edge(exit_block)
+        return CFG(entry, exit_block, self.blocks)
+
+    def _sequence(self, stmts: Iterable[ast.stmt], current: Optional[Block],
+                  loops: List[Dict[str, Block]],
+                  exit_block: Block) -> Optional[Block]:
+        """Thread ``stmts`` through ``current``; None = flow ended."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after return/raise/break: give it a
+                # disconnected block so its statements still exist in
+                # the graph (facts never reach them).
+                current = self.new_block("unreachable")
+            current = self._statement(stmt, current, loops, exit_block)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: Block,
+                   loops: List[Dict[str, Block]],
+                   exit_block: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._branch(stmt, current, loops, exit_block)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current, loops, exit_block)
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt,
+                                                        ast.TryStar)):
+            return self._try(stmt, current, loops, exit_block)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # The context expressions evaluate in the current block;
+            # the body is linear (exceptional exits are approximated
+            # away, like any non-try statement).
+            current.statements.append(stmt)
+            return self._sequence(stmt.body, current, loops, exit_block)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            current.add_edge(exit_block)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.statements.append(stmt)
+            if loops:
+                current.add_edge(loops[-1]["after"])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.statements.append(stmt)
+            if loops:
+                current.add_edge(loops[-1]["header"])
+            return None
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, current, loops, exit_block)
+        # Plain statement (assignments, expressions, nested defs, ...).
+        current.statements.append(stmt)
+        return current
+
+    def _branch(self, stmt: ast.If, current: Block,
+                loops: List[Dict[str, Block]],
+                exit_block: Block) -> Optional[Block]:
+        current.statements.append(stmt)   # the test expression
+        after = self.new_block("if-join")
+        then_entry = self.new_block("if-then")
+        current.add_edge(then_entry)
+        then_end = self._sequence(stmt.body, then_entry, loops, exit_block)
+        if then_end is not None:
+            then_end.add_edge(after)
+        if stmt.orelse:
+            else_entry = self.new_block("if-else")
+            current.add_edge(else_entry)
+            else_end = self._sequence(stmt.orelse, else_entry, loops,
+                                      exit_block)
+            if else_end is not None:
+                else_end.add_edge(after)
+        else:
+            current.add_edge(after)
+        return after
+
+    def _loop(self, stmt: ast.stmt, current: Block,
+              loops: List[Dict[str, Block]],
+              exit_block: Block) -> Optional[Block]:
+        header = self.new_block("loop-header")
+        after = self.new_block("loop-after")
+        current.add_edge(header)
+        # The header holds the loop statement itself: a transfer sees
+        # the iterable / test and (for For) the target binding.
+        header.statements.append(stmt)
+        body_entry = self.new_block("loop-body")
+        header.add_edge(body_entry)
+        loops.append({"header": header, "after": after})
+        body_end = self._sequence(stmt.body, body_entry, loops, exit_block)
+        loops.pop()
+        if body_end is not None:
+            body_end.add_edge(header)   # back edge
+        orelse = getattr(stmt, "orelse", None)
+        if orelse:
+            else_entry = self.new_block("loop-else")
+            header.add_edge(else_entry)
+            else_end = self._sequence(orelse, else_entry, loops, exit_block)
+            if else_end is not None:
+                else_end.add_edge(after)
+        else:
+            header.add_edge(after)
+        return after
+
+    def _try(self, stmt: ast.stmt, current: Block,
+             loops: List[Dict[str, Block]],
+             exit_block: Block) -> Optional[Block]:
+        body_entry = self.new_block("try-body")
+        current.add_edge(body_entry)
+        body_end = self._sequence(stmt.body, body_entry, loops, exit_block)
+
+        handler_ends: List[Optional[Block]] = []
+        handler_entries: List[Block] = []
+        for handler in stmt.handlers:
+            h_entry = self.new_block("except")
+            h_entry.statements.append(handler)   # the `except X as e:`
+            handler_entries.append(h_entry)
+            handler_ends.append(
+                self._sequence(handler.body, h_entry, loops, exit_block))
+        # An exception can fire anywhere inside the body, so a handler
+        # may observe the facts of the body's entry *or* its end: edge
+        # from both (standard may-analysis approximation).
+        for h_entry in handler_entries:
+            body_entry.add_edge(h_entry)
+            if body_end is not None:
+                body_end.add_edge(h_entry)
+
+        if stmt.orelse:
+            else_entry = self.new_block("try-else")
+            if body_end is not None:
+                body_end.add_edge(else_entry)
+            body_end = self._sequence(stmt.orelse, else_entry, loops,
+                                      exit_block)
+
+        tails = [body_end] + handler_ends
+        if stmt.finalbody:
+            fin_entry = self.new_block("finally")
+            for tail in tails:
+                if tail is not None:
+                    tail.add_edge(fin_entry)
+            if all(tail is None for tail in tails):
+                # Every path raised/returned; finally still runs.
+                body_entry.add_edge(fin_entry)
+            return self._sequence(stmt.finalbody, fin_entry, loops,
+                                  exit_block)
+        after = self.new_block("try-join")
+        joined = False
+        for tail in tails:
+            if tail is not None:
+                tail.add_edge(after)
+                joined = True
+        return after if joined else None
+
+    def _match(self, stmt: "ast.Match", current: Block,
+               loops: List[Dict[str, Block]],
+               exit_block: Block) -> Optional[Block]:
+        current.statements.append(stmt)
+        after = self.new_block("match-join")
+        for case in stmt.cases:
+            case_entry = self.new_block("match-case")
+            current.add_edge(case_entry)
+            case_end = self._sequence(case.body, case_entry, loops,
+                                      exit_block)
+            if case_end is not None:
+                case_end.add_edge(after)
+        current.add_edge(after)   # no case may match
+        return after
+
+
+def cfg_for_function(node: ast.AST) -> CFG:
+    """The CFG of a ``FunctionDef`` / ``AsyncFunctionDef`` / ``Lambda``."""
+    if isinstance(node, ast.Lambda):
+        body: List[ast.stmt] = [ast.Expr(value=node.body)]
+    else:
+        body = list(node.body)
+    return _Builder().build(body)
+
+
+def cfg_for_comprehension(node: ast.AST) -> CFG:
+    """The CFG of a comprehension's implicit nested loops.
+
+    ``[f(x) for x in xs if p(x)]`` lowers to the loop structure it
+    desugars to: one loop header per ``for`` clause (holding a
+    synthesized ``For`` over the clause's iterable and target), one
+    condition block per ``if``, and an innermost body evaluating the
+    element (and, for dict comprehensions, the value) expression.
+    """
+    builder = _Builder()
+    entry = builder.new_block("entry")
+    exit_block = builder.new_block("exit")
+    current = entry
+    afters: List[Block] = []
+    for comp in node.generators:
+        header = builder.new_block("comp-for")
+        after = builder.new_block("comp-after")
+        synthetic = ast.For(target=comp.target, iter=comp.iter,
+                            body=[], orelse=[])
+        ast.copy_location(synthetic, comp.iter)
+        header.statements.append(synthetic)
+        current.add_edge(header)
+        header.add_edge(after)
+        afters.append(after)
+        body = builder.new_block("comp-body")
+        header.add_edge(body)
+        current = body
+        for test in comp.ifs:
+            cond = builder.new_block("comp-if")
+            stmt = ast.Expr(value=test)
+            ast.copy_location(stmt, test)
+            current.statements.append(stmt)
+            current.add_edge(cond)
+            current.add_edge(header)   # condition false: next item
+            current = cond
+    elements = [node.elt] if not isinstance(node, ast.DictComp) \
+        else [node.key, node.value]
+    for expr in elements:
+        stmt = ast.Expr(value=expr)
+        ast.copy_location(stmt, expr)
+        current.statements.append(stmt)
+    # Innermost body loops back to the innermost header.
+    innermost_header = [b for b in builder.blocks
+                        if b.label == "comp-for"][-1]
+    current.add_edge(innermost_header)
+    # Chain the after-blocks outward: inner loop exhausted -> next
+    # outer iteration; outermost exhausted -> exit.
+    headers = [b for b in builder.blocks if b.label == "comp-for"]
+    for i, after in enumerate(afters):
+        if i == 0:
+            after.add_edge(exit_block)
+        else:
+            after.add_edge(headers[i - 1])
+    return CFG(entry, exit_block, builder.blocks)
+
+
+# ----------------------------------------------------------------------
+# The fixed-point engine
+# ----------------------------------------------------------------------
+class ForwardAnalysis:
+    """A forward may-analysis: subclass and supply the lattice.
+
+    Subclasses implement:
+
+    - ``initial()`` — the fact at the function entry;
+    - ``join(a, b)`` — least upper bound of two facts (must be
+      monotone; ``None`` marks an unreached block and joins as
+      identity);
+    - ``transfer(stmt, fact)`` — the fact after one statement.  Must
+      not mutate ``fact``; return a new value (or ``fact`` itself when
+      nothing changed).
+
+    ``run`` iterates to a fixed point and returns per-block entry
+    facts; ``statement_facts`` additionally replays the converged
+    transfers to report the fact in force *immediately before* every
+    statement, keyed by ``id(stmt)``.
+    """
+
+    max_iterations = 1000
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, stmt: ast.stmt, fact: Any) -> Any:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _block_out(self, block: Block, fact: Any) -> Any:
+        for stmt in block.statements:
+            fact = self.transfer(stmt, fact)
+        return fact
+
+    def run(self, cfg: CFG) -> Dict[int, Any]:
+        entry_facts: Dict[int, Any] = {b.bid: None for b in cfg.blocks}
+        entry_facts[cfg.entry.bid] = self.initial()
+        worklist: List[Block] = [cfg.entry]
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > self.max_iterations * max(1, len(cfg.blocks)):
+                raise RuntimeError(
+                    "dataflow engine failed to converge (non-monotone "
+                    "transfer or unbounded lattice?)")
+            block = worklist.pop(0)
+            fact_in = entry_facts[block.bid]
+            if fact_in is None:
+                continue
+            fact_out = self._block_out(block, fact_in)
+            for succ in block.successors:
+                current = entry_facts[succ.bid]
+                merged = fact_out if current is None \
+                    else self.join(current, fact_out)
+                if merged != current:
+                    entry_facts[succ.bid] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        return entry_facts
+
+    def statement_facts(self, cfg: CFG) -> Dict[int, Any]:
+        """``id(stmt) -> fact`` immediately before each statement."""
+        entry_facts = self.run(cfg)
+        at: Dict[int, Any] = {}
+        for block in cfg.blocks:
+            fact = entry_facts[block.bid]
+            if fact is None:
+                continue
+            for stmt in block.statements:
+                at[id(stmt)] = fact
+                fact = self.transfer(stmt, fact)
+        return at
+
+
+class TagEnv(ForwardAnalysis):
+    """Variable -> frozenset-of-tags environment analysis.
+
+    The workhorse fact domain of the shipped analyses: each variable
+    maps to the set of abstract tags it *may* carry (``{"rng"}``,
+    ``{"set"}``, ``{"process-pool"}``, ...).  ``evaluate`` assigns tags
+    to an expression; assignments bind them, joins union them.  Tags
+    are purely additive within a statement, and rebinding a variable
+    replaces its tags — exactly the strong update a single-target
+    assignment licenses.
+    """
+
+    def __init__(self, evaluate: Callable[[ast.AST, Dict[str, FrozenSet[str]]],
+                                          FrozenSet[str]]) -> None:
+        self.evaluate = evaluate
+
+    def initial(self) -> Dict[str, FrozenSet[str]]:
+        return {}
+
+    def join(self, a: Dict[str, FrozenSet[str]],
+             b: Dict[str, FrozenSet[str]]) -> Dict[str, FrozenSet[str]]:
+        if a == b:
+            return a
+        merged = dict(a)
+        for name, tags in b.items():
+            merged[name] = merged.get(name, frozenset()) | tags
+        return merged
+
+    def _bind(self, env: Dict[str, FrozenSet[str]], target: ast.AST,
+              tags: FrozenSet[str]) -> Dict[str, FrozenSet[str]]:
+        if isinstance(target, ast.Name):
+            env = dict(env)
+            if tags:
+                env[target.id] = tags
+            else:
+                env.pop(target.id, None)
+            return env
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # A tuple unpack spreads the (possibly empty) tags to every
+            # element — imprecise but sound for may-facts.
+            for element in target.elts:
+                env = self._bind(env, element, tags)
+        return env
+
+    def transfer(self, stmt: ast.stmt,
+                 fact: Dict[str, FrozenSet[str]]
+                 ) -> Dict[str, FrozenSet[str]]:
+        if isinstance(stmt, ast.Assign):
+            tags = self.evaluate(stmt.value, fact)
+            for target in stmt.targets:
+                fact = self._bind(fact, target, tags)
+            return fact
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            return self._bind(fact, stmt.target,
+                              self.evaluate(stmt.value, fact))
+        if isinstance(stmt, ast.AugAssign):
+            tags = self.evaluate(stmt.value, fact)
+            if isinstance(stmt.target, ast.Name):
+                existing = fact.get(stmt.target.id, frozenset())
+                return self._bind(fact, stmt.target, existing | tags)
+            return fact
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Loop target binds the *element* of the iterable; element
+            # tags are the iterable's tags minus container markers.
+            tags = self.evaluate(stmt.iter, fact) - {"set", "list",
+                                                     "dict"}
+            return self._bind(fact, stmt.target, tags)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    fact = self._bind(fact, item.optional_vars,
+                                      self.evaluate(item.context_expr,
+                                                    fact))
+            return fact
+        return fact

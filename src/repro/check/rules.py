@@ -95,6 +95,15 @@ class Rule:
 #: Registry of all lint rules, in registration order.
 RULES: Dict[str, Rule] = {}
 
+#: Registry of whole-program analyses (``repro check --dataflow``).
+#: A program rule is a function ``(Program) -> Iterable[Finding]``; it
+#: sees the package-wide call graph instead of one file, so its
+#: findings can connect facts across modules.  Registered separately
+#: from :data:`RULES` because the driver invokes the two families at
+#: different granularities, but the waiver machinery treats both name
+#: spaces as one.
+PROGRAM_RULES: Dict[str, Rule] = {}
+
 #: Finding ids emitted by the driver itself (waiver bookkeeping,
 #: unparseable files).  They are not waivable and carry no check
 #: function, but ``--list-rules`` and waiver validation know them.
@@ -111,10 +120,23 @@ def rule(name: str, description: str):
     """Decorator registering a rule function under ``name``."""
 
     def decorate(fn: Callable[[FileContext], Iterable[Finding]]) -> Rule:
-        if name in RULES or name in META_RULES:
+        if name in RULES or name in META_RULES or name in PROGRAM_RULES:
             raise ValueError(f"duplicate rule name: {name}")
         entry = Rule(name, description, fn)
         RULES[name] = entry
+        return entry
+
+    return decorate
+
+
+def program_rule(name: str, description: str):
+    """Decorator registering a whole-program analysis under ``name``."""
+
+    def decorate(fn: Callable[..., Iterable[Finding]]) -> Rule:
+        if name in RULES or name in META_RULES or name in PROGRAM_RULES:
+            raise ValueError(f"duplicate rule name: {name}")
+        entry = Rule(name, description, fn)
+        PROGRAM_RULES[name] = entry
         return entry
 
     return decorate

@@ -95,12 +95,10 @@ class FlowCache:
 
     def store(self, design: DesignData, scale: float, resolution: int,
               seed: int) -> Path:
-        """Persist one design atomically (write-temp-then-rename)."""
+        """Persist one design (atomic: save_design_data stages+renames)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(design.name, design.node, scale, resolution, seed)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
-        save_design_data(design, tmp)
-        os.replace(tmp, path)
+        save_design_data(design, path)
         return path
 
 

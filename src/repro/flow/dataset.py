@@ -14,6 +14,7 @@ from typing import Dict, List, Union
 import numpy as np
 
 from ..features import PinGraph
+from ..nn.serialization import atomic_savez
 
 
 @dataclass
@@ -111,27 +112,31 @@ def dataset_statistics(designs: List[DesignData]) -> List[Dict[str, object]]:
 
 
 def save_design_data(data: DesignData, path: Union[str, Path]) -> None:
-    """Persist a design's tensors (graph + labels) as compressed npz."""
-    np.savez_compressed(
-        str(path),
-        name=np.array(data.name),
-        node=np.array(data.node),
-        features=data.graph.features,
-        net_edges=data.graph.net_edges,
-        cell_edges=data.graph.cell_edges,
-        endpoint_rows=data.graph.endpoint_rows,
-        endpoint_names=np.array(data.graph.endpoint_names),
-        levels=np.array(
+    """Persist a design's tensors (graph + labels) as compressed npz.
+
+    The write is atomic (staged next to the target, then renamed into
+    place): a crash mid-write leaves either the old file or none, never
+    a torn archive the loader would have to detect.
+    """
+    atomic_savez(path, {
+        "name": np.array(data.name),
+        "node": np.array(data.node),
+        "features": data.graph.features,
+        "net_edges": data.graph.net_edges,
+        "cell_edges": data.graph.cell_edges,
+        "endpoint_rows": data.graph.endpoint_rows,
+        "endpoint_names": np.array(data.graph.endpoint_names),
+        "levels": np.array(
             [len(lv) for lv in data.graph.levels], dtype=np.int64
         ),
-        levels_flat=np.concatenate(data.graph.levels)
+        "levels_flat": np.concatenate(data.graph.levels)
         if data.graph.levels else np.zeros(0, dtype=np.int64),
-        images=data.images,
-        cone_masks=data.cone_masks,
-        labels=data.labels,
-        pre_route_at=data.pre_route_at,
-        clock_period=np.array(data.clock_period),
-    )
+        "images": data.images,
+        "cone_masks": data.cone_masks,
+        "labels": data.labels,
+        "pre_route_at": data.pre_route_at,
+        "clock_period": np.array(data.clock_period),
+    })
 
 
 def load_design_data(path: Union[str, Path]) -> DesignData:

@@ -76,6 +76,7 @@ def record(name: str, seconds: float) -> None:
     """Add one observation to the named accumulator."""
     entry = _REGISTRY.get(name)
     if entry is None:
+        # repro-check: disable=parallel-safety -- each process owns its registry; workers snapshot via get_timings and the parent folds them in with merge_timings
         entry = _REGISTRY[name] = {"calls": 0, "seconds": 0.0}
     entry["calls"] += 1
     entry["seconds"] += seconds
@@ -103,6 +104,7 @@ def merge_timings(timings: Mapping[str, Mapping[str, float]]) -> None:
 
 def reset_timings() -> None:
     """Clear every accumulator (start of a measurement window)."""
+    # repro-check: disable=parallel-safety -- clears this process's own registry; workers reset their private copy at task start by design
     _REGISTRY.clear()
 
 

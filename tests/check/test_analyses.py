@@ -1,0 +1,274 @@
+"""The four whole-program analyses, each against a seeded violation.
+
+Every test constructs a minimal synthetic package in ``tmp_path``
+containing exactly the pattern the analysis exists to catch (or a
+compliant variant that must NOT be flagged), builds the call graph and
+runs :func:`~repro.check.analyses.run_program_analyses` over it.
+"""
+
+from pathlib import Path
+
+from repro.check.analyses import run_program_analyses
+from repro.check.callgraph import Program
+
+
+def _findings(tmp_path: Path, files, rule=None):
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    if not (root / "__init__.py").exists():
+        (root / "__init__.py").write_text("")
+    program = Program.build(root, "pkg")
+    found = run_program_analyses(program)
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+POOL_FAN_OUT = (
+    "from concurrent.futures import ProcessPoolExecutor\n"
+    "def fan_out(items):\n"
+    "    with ProcessPoolExecutor() as pool:\n"
+    "        return [pool.submit(work, i) for i in items]\n"
+)
+
+
+# ----------------------------------------------------------------------
+# rng-stream
+# ----------------------------------------------------------------------
+class TestRngStream:
+    def test_unseeded_rng_in_pool_callback(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "def work(x):\n"
+                     "    rng = np.random.default_rng()\n"
+                     "    return rng.random()\n" + POOL_FAN_OUT),
+        }, rule="rng-stream")
+        assert len(found) == 1
+        assert "unseeded default_rng()" in found[0].message
+        assert "pkg.a.work" in found[0].message
+
+    def test_seeded_rng_in_pool_callback_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "def work(x):\n"
+                     "    rng = np.random.default_rng(x)\n"
+                     "    return rng.random()\n" + POOL_FAN_OUT),
+        }, rule="rng-stream")
+        assert found == []
+
+    def test_module_global_rng_draw_in_worker(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "_RNG = np.random.default_rng(0)\n"
+                     "def work(x):\n"
+                     "    return _RNG.random()\n" + POOL_FAN_OUT),
+        }, rule="rng-stream")
+        assert len(found) == 1
+        assert "module-global RNG `_RNG`" in found[0].message
+
+    def test_draw_inside_set_iteration(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "def sample(items):\n"
+                     "    rng = np.random.default_rng(0)\n"
+                     "    out = []\n"
+                     "    for item in set(items):\n"
+                     "        out.append(rng.random())\n"
+                     "    return out\n"),
+        }, rule="rng-stream")
+        assert len(found) == 1
+        assert "iteration over set" in found[0].message
+
+    def test_draw_over_sorted_set_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "def sample(items):\n"
+                     "    rng = np.random.default_rng(0)\n"
+                     "    out = []\n"
+                     "    for item in sorted(set(items)):\n"
+                     "        out.append(rng.random())\n"
+                     "    return out\n"),
+        }, rule="rng-stream")
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# parallel-safety
+# ----------------------------------------------------------------------
+class TestParallelSafety:
+    def test_lambda_capturing_mutable_global(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("from concurrent.futures import ProcessPoolExecutor\n"
+                     "STATE = {}\n"
+                     "def fan_out(items):\n"
+                     "    with ProcessPoolExecutor() as pool:\n"
+                     "        return [pool.submit(lambda: STATE)\n"
+                     "                for i in items]\n"),
+        }, rule="parallel-safety")
+        assert any("captures mutable shared state `STATE`" in f.message
+                   for f in found)
+
+    def test_live_rng_submitted_across_process_boundary(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "from concurrent.futures import ProcessPoolExecutor\n"
+                     "def work(x, rng):\n"
+                     "    return x\n"
+                     "def fan_out(items):\n"
+                     "    rng = np.random.default_rng(0)\n"
+                     "    with ProcessPoolExecutor() as pool:\n"
+                     "        futs = [pool.submit(work, i, rng)\n"
+                     "                for i in items]\n"
+                     "    return futs\n"),
+        }, rule="parallel-safety")
+        assert any("live RNG submitted" in f.message for f in found)
+
+    def test_open_file_submitted_across_process_boundary(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("from concurrent.futures import ProcessPoolExecutor\n"
+                     "def work(x, handle):\n"
+                     "    return x\n"
+                     "def fan_out(items):\n"
+                     "    handle = open('log.txt')\n"
+                     "    with ProcessPoolExecutor() as pool:\n"
+                     "        futs = [pool.submit(work, i, handle)\n"
+                     "                for i in items]\n"
+                     "    return futs\n"),
+        }, rule="parallel-safety")
+        assert any("open file handle submitted" in f.message
+                   for f in found)
+
+    def test_worker_reachable_global_mutation(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("CACHE = {}\n"
+                     "def work(x):\n"
+                     "    CACHE[x] = x\n"
+                     "    return x\n" + POOL_FAN_OUT),
+        }, rule="parallel-safety")
+        assert any("mutates module global `CACHE`" in f.message
+                   for f in found)
+
+    def test_worker_local_state_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("def work(x):\n"
+                     "    local = {}\n"
+                     "    local[x] = x\n"
+                     "    return local\n" + POOL_FAN_OUT),
+        }, rule="parallel-safety")
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# artifact-atomicity
+# ----------------------------------------------------------------------
+class TestArtifactAtomicity:
+    def test_raw_savez_is_flagged(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import numpy as np\n"
+                     "def save(path, arr):\n"
+                     "    np.savez_compressed(path, x=arr)\n"),
+        }, rule="artifact-atomicity")
+        assert len(found) == 1
+        assert "np.savez_compressed()" in found[0].message
+
+    def test_raw_json_dump_is_flagged(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import json\n"
+                     "def save(obj):\n"
+                     "    with open('out.json', 'w') as f:\n"
+                     "        json.dump(obj, f)\n"),
+        }, rule="artifact-atomicity")
+        assert found  # the open and/or the dump
+        assert all("run artifact" in f.message for f in found)
+
+    def test_stage_then_replace_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("import json\n"
+                     "import os\n"
+                     "def save(obj, path):\n"
+                     "    tmp = path + '.tmp'\n"
+                     "    with open('out.json.tmp', 'w') as f:\n"
+                     "        json.dump(obj, f)\n"
+                     "    os.replace(tmp, path)\n"),
+        }, rule="artifact-atomicity")
+        assert found == []
+
+    def test_atomic_helper_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("from .io import atomic_savez\n"
+                     "def save(path, arrays):\n"
+                     "    atomic_savez(path, arrays)\n"),
+            "io.py": ("import os\n"
+                      "import numpy as np\n"
+                      "def atomic_savez(path, arrays):\n"
+                      "    np.savez_compressed(str(path) + '.tmp', **arrays)\n"
+                      "    os.replace(str(path) + '.tmp', path)\n"),
+        }, rule="artifact-atomicity")
+        assert found == []
+
+    def test_non_artifact_writes_are_ignored(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("def save(text):\n"
+                     "    with open('notes.txt', 'w') as f:\n"
+                     "        f.write(text)\n"),
+        }, rule="artifact-atomicity")
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# trace-safety
+# ----------------------------------------------------------------------
+class TestTraceSafety:
+    def test_data_write_inside_trace_body(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("def step(nc, model):\n"
+                     "    with nc.trace():\n"
+                     "        model.w.data[0] = 1.0\n"),
+        }, rule="trace-safety")
+        assert len(found) == 1
+        assert "`with trace():` body" in found[0].message
+
+    def test_data_write_reachable_from_trace(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("from .b import helper\n"
+                     "def step(nc, t):\n"
+                     "    with nc.trace():\n"
+                     "        helper(t)\n"),
+            "b.py": ("def helper(t):\n"
+                     "    t.data += 1.0\n"),
+        }, rule="trace-safety")
+        assert len(found) == 1
+        assert "reachable from the compile trace" in found[0].message
+        assert "pkg.a.step" in found[0].message
+
+    def test_backward_under_no_grad(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("from .ctx import no_grad\n"
+                     "def evaluate(loss):\n"
+                     "    with no_grad():\n"
+                     "        loss.backward()\n"),
+            "ctx.py": ("def no_grad():\n"
+                       "    pass\n"),
+        }, rule="trace-safety")
+        assert len(found) == 1
+        assert "backward() under no_grad()" in found[0].message
+
+    def test_whitelist_covers_repro_modules_only(self):
+        # repro's nn/optim.py is on TENSOR_DATA_WHITELIST (in-place
+        # parameter updates are that module's whole job); the same
+        # relative path in another package is not.
+        from repro.check.analyses import _whitelisted
+
+        assert _whitelisted("repro.nn.optim")
+        assert _whitelisted("repro.nn.tensor")
+        assert not _whitelisted("pkg.nn.optim")
+
+    def test_data_write_outside_trace_is_clean(self, tmp_path):
+        found = _findings(tmp_path, {
+            "a.py": ("def reset(t):\n"
+                     "    t.data[:] = 0.0\n"),
+        }, rule="trace-safety")
+        assert found == []

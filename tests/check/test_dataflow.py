@@ -1,0 +1,267 @@
+"""The dataflow engine itself: CFG construction and fixed points.
+
+The whole-program analyses are only as sound as the CFG and the
+worklist underneath them, so those are pinned directly: every
+statement must land in exactly one block, loops must have back edges,
+exception/finally paths must exist, comprehensions must desugar to
+loops, and the fixpoint iteration must converge on lattices that
+grow — and refuse to spin forever on ones that never stop growing.
+"""
+
+import ast
+
+import pytest
+
+from repro.check.dataflow import (CFG, ForwardAnalysis, TagEnv,
+                                  cfg_for_function, cfg_for_comprehension)
+
+
+def _fn(source: str) -> ast.AST:
+    module = ast.parse(source)
+    node = module.body[0]
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return node
+
+
+def _all_statements(cfg: CFG):
+    return [stmt for block in cfg.blocks for stmt in block.statements]
+
+
+def _assign_targets(cfg: CFG):
+    names = []
+    for stmt in _all_statements(cfg):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+    return names
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+class TestCFGConstruction:
+    def test_straight_line_single_block(self):
+        cfg = cfg_for_function(_fn("def f():\n    a = 1\n    b = 2\n"))
+        assert sorted(_assign_targets(cfg)) == ["a", "b"]
+
+    def test_if_else_covers_both_branches(self):
+        cfg = cfg_for_function(_fn(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    d = 3\n"))
+        assert sorted(_assign_targets(cfg)) == ["a", "b", "d"]
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_for_function(_fn(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    done = 1\n"))
+        preds = cfg.predecessors()
+        header = next(block for block in cfg.blocks
+                      if any(isinstance(s, ast.While)
+                             for s in block.statements))
+        # Entry path plus the loop back edge.
+        assert len(preds[header.bid]) >= 2
+
+    def test_for_loop_body_and_orelse(self):
+        cfg = cfg_for_function(_fn(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        a = x\n"
+            "    else:\n"
+            "        b = 1\n"))
+        assert sorted(_assign_targets(cfg)) == ["a", "b"]
+
+    def test_break_and_continue_do_not_crash(self):
+        cfg = cfg_for_function(_fn(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "        continue\n"
+            "    after = 1\n"))
+        assert "after" in _assign_targets(cfg)
+
+    def test_try_except_finally_all_present(self):
+        cfg = cfg_for_function(_fn(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    except ValueError:\n"
+            "        b = 2\n"
+            "    finally:\n"
+            "        c = 3\n"))
+        assert sorted(_assign_targets(cfg)) == ["a", "b", "c"]
+
+    def test_with_block_statements_present(self):
+        cfg = cfg_for_function(_fn(
+            "def f(cm):\n"
+            "    with cm() as h:\n"
+            "        a = 1\n"))
+        assert "a" in _assign_targets(cfg)
+
+    def test_lambda_builds_a_cfg(self):
+        module = ast.parse("g = lambda x: x + 1")
+        lam = module.body[0].value
+        cfg = cfg_for_function(lam)
+        assert len(_all_statements(cfg)) == 1
+
+    def test_comprehension_desugars_to_loop(self):
+        module = ast.parse("ys = [f(x) for x in xs if x]")
+        comp = module.body[0].value
+        cfg = cfg_for_comprehension(comp)
+        stmts = _all_statements(cfg)
+        assert any(isinstance(s, ast.For) for s in stmts)
+        # The if-clause becomes a condition statement in the loop body.
+        assert any(isinstance(s, ast.Expr) and isinstance(s.value, ast.Name)
+                   and s.value.id == "x" for s in stmts)
+
+
+# ----------------------------------------------------------------------
+# Fixed-point iteration on a synthetic lattice
+# ----------------------------------------------------------------------
+class _Reaching(ForwardAnalysis):
+    """Set-of-assigned-names lattice: join = union (monotone, finite)."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, stmt, fact):
+        if isinstance(stmt, ast.Assign):
+            return fact | {t.id for t in stmt.targets
+                           if isinstance(t, ast.Name)}
+        return fact
+
+
+class _Diverging(ForwardAnalysis):
+    """Unbounded chain: on a cyclic CFG this must be detected, not spin."""
+
+    max_iterations = 50
+
+    def initial(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, stmt, fact):
+        return fact + 1
+
+
+class TestFixedPoint:
+    def test_loop_converges_and_joins_paths(self):
+        cfg = cfg_for_function(_fn(
+            "def f(n):\n"
+            "    a = 1\n"
+            "    while n:\n"
+            "        b = 2\n"
+            "    c = 3\n"))
+        analysis = _Reaching()
+        facts = analysis.statement_facts(cfg)
+        final = next(s for s in _all_statements(cfg)
+                     if isinstance(s, ast.Assign)
+                     and s.targets[0].id == "c")
+        # 'b' may or may not have executed: a may-analysis keeps it.
+        assert facts[id(final)] == frozenset({"a", "b"})
+
+    def test_branch_join_is_union(self):
+        cfg = cfg_for_function(_fn(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    d = 3\n"))
+        facts = _Reaching().statement_facts(cfg)
+        final = next(s for s in _all_statements(cfg)
+                     if isinstance(s, ast.Assign)
+                     and s.targets[0].id == "d")
+        assert facts[id(final)] == frozenset({"a", "b"})
+
+    def test_divergent_lattice_raises_instead_of_spinning(self):
+        cfg = cfg_for_function(_fn(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"))
+        with pytest.raises(RuntimeError, match="converge"):
+            _Diverging().run(cfg)
+
+
+# ----------------------------------------------------------------------
+# TagEnv
+# ----------------------------------------------------------------------
+def _rng_evaluate(expr, env):
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, frozenset())
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id == "make_rng":
+            return frozenset({"rng"})
+        if expr.func.id == "make_set":
+            return frozenset({"set"})
+    return frozenset()
+
+
+class TestTagEnv:
+    def _facts(self, source):
+        cfg = cfg_for_function(_fn(source))
+        return cfg, TagEnv(_rng_evaluate).statement_facts(cfg)
+
+    def _fact_at_assign(self, source, name):
+        cfg, facts = self._facts(source)
+        stmt = next(s for s in _all_statements(cfg)
+                    if isinstance(s, ast.Assign)
+                    and isinstance(s.targets[0], ast.Name)
+                    and s.targets[0].id == name)
+        return facts[id(stmt)]
+
+    def test_tags_flow_through_assignment(self):
+        env = self._fact_at_assign(
+            "def f():\n"
+            "    r = make_rng()\n"
+            "    s = r\n"
+            "    end = 1\n", "end")
+        assert env["r"] == frozenset({"rng"})
+        assert env["s"] == frozenset({"rng"})
+
+    def test_rebinding_is_a_strong_update(self):
+        env = self._fact_at_assign(
+            "def f():\n"
+            "    r = make_rng()\n"
+            "    r = 1\n"
+            "    end = 2\n", "end")
+        assert "r" not in env
+
+    def test_branch_join_unions_tags(self):
+        env = self._fact_at_assign(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = make_rng()\n"
+            "    else:\n"
+            "        x = make_set()\n"
+            "    end = 1\n", "end")
+        assert env["x"] == frozenset({"rng", "set"})
+
+    def test_loop_carried_tag_reaches_after_loop(self):
+        env = self._fact_at_assign(
+            "def f(xs):\n"
+            "    x = 1\n"
+            "    for i in xs:\n"
+            "        x = make_rng()\n"
+            "    end = 1\n", "end")
+        assert env["x"] == frozenset({"rng"})
+
+    def test_for_target_strips_container_tags(self):
+        env = self._fact_at_assign(
+            "def f():\n"
+            "    items = make_set()\n"
+            "    for item in items:\n"
+            "        end = 1\n", "end")
+        assert env.get("item", frozenset()) == frozenset()

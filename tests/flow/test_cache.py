@@ -264,3 +264,43 @@ class TestRetryBackoff:
                                  retry_backoff=0.5)
         _assert_identical(built, fresh)
         assert sleeps == [0.5]  # one backoff before the serial recovery
+
+
+class TestAtomicStore:
+    """Regression: ``save_design_data`` used to call a raw
+    ``np.savez_compressed`` straight at the target, so a crash
+    mid-write could leave a torn archive (detected only later, as a
+    discard-and-rebuild cache miss).  It now stages next to the target
+    and renames into place."""
+
+    def test_crash_mid_write_leaves_previous_entry_intact(
+            self, tmp_path, fresh, monkeypatch):
+        from repro.flow.dataset import load_design_data, save_design_data
+        from repro.nn import serialization
+
+        target = tmp_path / "design.npz"
+        save_design_data(fresh, target)
+        good = target.read_bytes()
+
+        def torn_write(path, **arrays):
+            with open(str(path), "wb") as handle:
+                handle.write(b"torn")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(serialization.np, "savez_compressed",
+                            torn_write)
+        with pytest.raises(OSError, match="disk full"):
+            save_design_data(fresh, target)
+        # The previous entry survives byte-for-byte, the stage file is
+        # cleaned up, and the entry still loads.
+        assert target.read_bytes() == good
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["design.npz"]
+        _assert_identical(load_design_data(target), fresh)
+
+    def test_store_leaves_no_stage_files(self, tmp_path, fresh):
+        cache = FlowCache(tmp_path / "designs")
+        path = cache.store(fresh, scale=1.0, resolution=16, seed=0)
+        assert path.is_file()
+        assert sorted(p.name for p in path.parent.iterdir()) == [path.name]
+        _assert_identical(cache.load(fresh.name, fresh.node, 1.0, 16, 0),
+                          fresh)
