@@ -97,6 +97,9 @@ class Program:
         self.qualname_of_node: Dict[int, str] = {}
         #: class qualname -> set of method names.
         self.class_methods: Dict[str, Set[str]] = {}
+        #: class qualname -> resolved base-class names (dotted where
+        #: resolution succeeded, the raw spelling otherwise).
+        self.class_bases: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -197,6 +200,14 @@ class Program:
                            if isinstance(n, (ast.FunctionDef,
                                              ast.AsyncFunctionDef))}
                 program.class_methods[class_qual] = methods
+                bases = []
+                for base in node.bases:
+                    resolved = program.resolve_dotted(module, base)
+                    if resolved is None and isinstance(base, ast.Name):
+                        resolved = base.id
+                    if resolved is not None:
+                        bases.append(resolved)
+                program.class_bases[class_qual] = bases
                 self.scope.append(node.name)
                 self.class_stack.append(node.name)
                 self.generic_visit(node)
@@ -494,9 +505,51 @@ class Program:
         Finder().visit(module.tree)
         return sites
 
+    #: stdlib bases whose subclasses run their methods on server worker
+    #: threads (one per connection/request) — a ``ThreadingHTTPServer``
+    #: handler's ``do_GET`` is as worker-reachable as a ``Thread``
+    #: target, just dispatched by the socketserver machinery instead of
+    #: an explicit hand-off the Finder could see.
+    _THREADED_BASES: Tuple[str, ...] = (
+        "socketserver.ThreadingMixIn",
+        "socketserver.ThreadingTCPServer",
+        "socketserver.ThreadingUDPServer",
+        "http.server.ThreadingHTTPServer",
+        "http.server.BaseHTTPRequestHandler",
+    )
+
+    def threaded_handler_classes(self) -> Set[str]:
+        """Program classes whose methods run on server worker threads:
+        subclasses (transitively, within the program) of the threading
+        socketserver/http.server bases."""
+        out: Set[str] = set()
+
+        def is_threaded(qual: str, depth: int = 0) -> bool:
+            if depth > 8:
+                return False
+            for base in self.class_bases.get(qual, ()):
+                base = self.canonicalize(base)
+                if base in self._THREADED_BASES \
+                        or base.rsplit(".", 1)[-1] == "ThreadingMixIn":
+                    return True
+                if base in self.class_bases \
+                        and is_threaded(base, depth + 1):
+                    return True
+            return False
+
+        for qual in self.class_bases:
+            if is_threaded(qual):
+                out.add(qual)
+        return out
+
     # ------------------------------------------------------------------
     def worker_reachable(self) -> Set[str]:
-        """Qualnames of every function reachable from a worker target."""
+        """Qualnames of every function reachable from a worker target
+        (explicit submit/Thread/Process hand-offs plus the methods of
+        threaded server handler classes)."""
         seeds = [site.target_qualname for site in self.worker_sites()
                  if site.target_qualname is not None]
+        for class_qual in self.threaded_handler_classes():
+            for method in self.class_methods.get(class_qual, ()):
+                seeds.append(f"{class_qual}.{method}")
         return self.reachable(seeds)

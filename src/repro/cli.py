@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli libs                   # library summaries
     python -m repro.cli train [--steps N]      # train ours, report test R^2
     python -m repro.cli predict DESIGN...      # serve predictions (fast path)
+    python -m repro.cli serve [--port N]       # resident prediction server
     python -m repro.cli report-run RUNDIR      # render a run's telemetry
     python -m repro.cli experiments [NAMES]    # regenerate tables/figures
     python -m repro.cli check [PATHS]          # static lint + autograd audit
@@ -345,6 +346,12 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve.__main__ import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_report_run(args) -> int:
     from .obs import render_run
 
@@ -480,6 +487,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print per-phase timing totals")
 
+    p = sub.add_parser("serve",
+                       help="resident prediction server with request "
+                            "coalescing and model hot-reload")
+    from .serve.__main__ import add_serve_arguments
+
+    add_serve_arguments(p)
+
     p = sub.add_parser("report-run",
                        help="render a training run's telemetry")
     p.add_argument("run_dir", help="run directory written by `train`")
@@ -530,6 +544,7 @@ COMMANDS = {
     "export": cmd_export,
     "train": cmd_train,
     "predict": cmd_predict,
+    "serve": cmd_serve,
     "experiments": cmd_experiments,
 }
 

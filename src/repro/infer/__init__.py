@@ -10,11 +10,12 @@ See DESIGN.md §9 "Inference architecture":
   checkpoints carrying weights *and* the finalised node priors.
 """
 
-from .cache import FeatureCache, named_tensors, weight_digest
+from .cache import BoundedLRU, FeatureCache, named_tensors, weight_digest
 from .engine import InferenceEngine, Prediction
 from .serialization import load_predictor, save_predictor
 
 __all__ = [
+    "BoundedLRU",
     "FeatureCache",
     "InferenceEngine",
     "Prediction",

@@ -16,18 +16,27 @@ ablations freeze parameters by flipping ``requires_grad`` off, and a
 later ``.data`` write to a frozen tensor must still invalidate.
 Digesting the full parameter set costs one pass over ~10^5 floats
 (tens of microseconds) — noise next to the graph sweep it saves.
+
+Both :class:`FeatureCache` and :class:`BoundedLRU` are thread-safe:
+the resident server (`repro.serve`) hits them from every handler
+thread, where unguarded dict writes and bare ``hits += 1`` counters
+are lost-update races.  Every public method takes the instance lock;
+entry bounds evict least-recently-used so a long-lived process serving
+an open-ended design population cannot grow without limit.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterator, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
 
 import numpy as np
 
 from ..nn import Module, Tensor
 
-__all__ = ["FeatureCache", "named_tensors", "weight_digest"]
+__all__ = ["BoundedLRU", "FeatureCache", "named_tensors", "weight_digest"]
 
 #: Cached value: ``(u, u_n, u_d)`` numpy arrays over a design's full
 #: endpoint set, detached from any autograd graph.
@@ -71,19 +80,84 @@ def weight_digest(model: Module) -> str:
     return h.hexdigest()
 
 
+class BoundedLRU:
+    """Thread-safe mapping with least-recently-used eviction.
+
+    The inference engine memoises weight-independent per-design /
+    per-design-set structures (im2col columns, fused batch graphs) in
+    instances of this: in a resident server every distinct request mix
+    would otherwise pin a full union-graph batch forever.  ``get``
+    refreshes recency; ``put`` evicts the coldest entries past
+    ``max_entries`` (None = unbounded) and counts them in
+    ``evictions``.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while self.max_entries is not None and \
+                    len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._data),
+                    "evictions": self.evictions,
+                    "max_entries": self.max_entries}
+
+
 class FeatureCache:
     """Per-design ``(u, u_n, u_d)`` store, one entry per design.
 
     An entry is valid only for the digest it was stored under; a lookup
     with a different digest misses (and the subsequent store replaces
-    the stale entry, so memory stays bounded at one triple per design).
+    the stale entry, so memory stays bounded at one triple per design —
+    plus, optionally, an LRU bound on the design population itself via
+    ``max_entries``).
+
+    Thread-safe: lookup/store and the hit/miss counters are guarded by
+    one lock, so concurrent server threads never lose counter updates
+    or observe a half-written entry.
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[Tuple[str, str],
-                          Tuple[str, FeatureTriple]] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Tuple[str, str], Tuple[str, FeatureTriple]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(design) -> Tuple[str, str]:
@@ -91,24 +165,37 @@ class FeatureCache:
 
     def lookup(self, design, digest: str) -> Optional[FeatureTriple]:
         """The cached triple for ``design`` under ``digest``, or None."""
-        entry = self._store.get(self._key(design))
-        if entry is not None and entry[0] == digest:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._store.get(self._key(design))
+            if entry is not None and entry[0] == digest:
+                self.hits += 1
+                self._store.move_to_end(self._key(design))
+                return entry[1]
+            self.misses += 1
+            return None
 
     def store(self, design, digest: str,
               features: FeatureTriple) -> None:
         """Insert (or replace) the design's triple under ``digest``."""
-        self._store[self._key(design)] = (digest, features)
+        with self._lock:
+            key = self._key(design)
+            self._store[key] = (digest, features)
+            self._store.move_to_end(key)
+            while self.max_entries is not None and \
+                    len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._store)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._store),
+                    "evictions": self.evictions}

@@ -28,6 +28,22 @@ model has not changed, and a separate prior-MLP forward per design.
 Numerics are the training path's: every prediction matches
 ``TimingPredictor.predict`` to ~1e-10 (asserted by
 ``tests/infer/test_engine.py`` and ``benchmarks/bench_inference.py``).
+
+The engine is **thread-safe and resident-process-safe** (the contract
+``repro.serve`` builds on, DESIGN.md §13):
+
+- every public entry point enters :func:`repro.nn.no_grad` itself —
+  the flag is thread-local, so a server worker thread calling in from
+  a fresh thread must not depend on the constructing thread's scope;
+- the weight-independent structure caches are bounded LRUs
+  (``max_struct_entries`` / ``max_column_entries``), so an open-ended
+  stream of distinct request mixes cannot grow memory without limit;
+- predictions take a shared read lock and :meth:`swap_model` takes the
+  write side, so a hot-reload can never interleave with an in-flight
+  forward (requests see the old weights or the new, never a mix);
+- the digest a cold extraction was computed under is re-checked before
+  the feature-cache store, so a weight edit that bypasses
+  ``swap_model`` can still never publish stale features.
 """
 
 from __future__ import annotations
@@ -40,8 +56,8 @@ from ..flow import DesignData
 from ..model import TimingPredictor
 from ..nn import Tensor, no_grad
 from ..train.fused import FusedDesignBatch, slice_ranges
-from ..util import timed
-from .cache import FeatureCache, FeatureTriple, weight_digest
+from ..util import RWLock, timed
+from .cache import BoundedLRU, FeatureCache, FeatureTriple, weight_digest
 from .kernels import ColumnsTriple, cnn_forward, image_columns
 
 __all__ = ["InferenceEngine", "Prediction"]
@@ -91,22 +107,37 @@ class InferenceEngine:
         derive from are immutable flow outputs — but the columns are
         ~9x the image stack in memory, so disable when serving a very
         large design population from a small footprint.
+    max_struct_entries, max_column_entries:
+        LRU bounds on the two weight-independent caches.  A resident
+        process serving many distinct design *sets* would otherwise
+        keep one full union-graph batch per distinct request mix
+        forever; evictions are counted in :meth:`stats`.
+    cache_max_entries:
+        Optional LRU bound on the feature cache itself (None keeps the
+        historical one-entry-per-design behaviour).
     """
 
     def __init__(self, model: TimingPredictor, use_cache: bool = True,
                  transductive: bool = True,
-                 cache_columns: bool = True) -> None:
+                 cache_columns: bool = True,
+                 max_struct_entries: Optional[int] = 8,
+                 max_column_entries: Optional[int] = 64,
+                 cache_max_entries: Optional[int] = None) -> None:
         self.model = model
         self.cache: Optional[FeatureCache] = \
-            FeatureCache() if use_cache else None
+            FeatureCache(max_entries=cache_max_entries) \
+            if use_cache else None
         self.transductive = transductive
         self.cache_columns = cache_columns
         #: (name, node) -> first-layer im2col columns of the design's
-        #: path images (weight-independent, never invalidated).
-        self._image_cols: Dict[Tuple[str, str], ColumnsTriple] = {}
+        #: path images (weight-independent; LRU-bounded).
+        self._image_cols: BoundedLRU = BoundedLRU(max_column_entries)
         #: design-set key -> (FusedDesignBatch, subsets, images, cols);
         #: the union graph and stacked images are weight-independent.
-        self._structs: Dict[Tuple[Tuple[str, str], ...], tuple] = {}
+        self._structs: BoundedLRU = BoundedLRU(max_struct_entries)
+        #: Shared by predictions (read) and swap_model (write): a
+        #: hot-reload is mutually exclusive with in-flight forwards.
+        self._rw = RWLock()
 
     # ------------------------------------------------------------------
     # Feature extraction (the cached, expensive half)
@@ -126,7 +157,7 @@ class InferenceEngine:
             conv1 = self.model.extractor.cnn.conv1
             cols = image_columns(images, conv1.weight.data,
                                  conv1.stride, conv1.padding)
-            self._image_cols[key] = cols
+            self._image_cols.put(key, cols)
         return cols
 
     def _disentangle(self, u_graph: np.ndarray, u_layout: np.ndarray
@@ -139,24 +170,27 @@ class InferenceEngine:
 
     def features(self, design: DesignData) -> FeatureTriple:
         """``(u, u_n, u_d)`` arrays over the design's full endpoint set."""
-        digest = self._digest() if self.cache is not None else ""
-        if self.cache is not None:
-            hit = self.cache.lookup(design, digest)
-            if hit is not None:
-                return hit
-        model = self.model
-        with timed("infer.features"):
-            images = design.path_image_stack()
-            with no_grad():
+        with self._rw.read(), no_grad():
+            digest = self._digest() if self.cache is not None else ""
+            if self.cache is not None:
+                hit = self.cache.lookup(design, digest)
+                if hit is not None:
+                    return hit
+            model = self.model
+            with timed("infer.features"):
+                images = design.path_image_stack()
                 u_graph = model.extractor.gnn(
                     design.graph, design.graph.endpoint_rows).data
-            u_layout = cnn_forward(
-                model.extractor.cnn,
-                images, cols=self._columns_for(design, images))
-            triple = self._disentangle(u_graph, u_layout)
-        if self.cache is not None:
-            self.cache.store(design, digest, triple)
-        return triple
+                u_layout = cnn_forward(
+                    model.extractor.cnn,
+                    images, cols=self._columns_for(design, images))
+                triple = self._disentangle(u_graph, u_layout)
+            # Store only if the weights are still the ones the triple
+            # was computed under: a concurrent weight edit that slipped
+            # past swap_model must not publish stale features.
+            if self.cache is not None and self._digest() == digest:
+                self.cache.store(design, digest, triple)
+            return triple
 
     def _batch_struct(self, missed: Sequence[DesignData]) -> tuple:
         """Weight-independent batch structure for a set of designs:
@@ -173,7 +207,7 @@ class InferenceEngine:
                 cols = image_columns(images, conv1.weight.data,
                                      conv1.stride, conv1.padding)
             struct = (batch, subsets, images, cols)
-            self._structs[key] = struct
+            self._structs.put(key, struct)
         return struct
 
     def _features_many(self, designs: Sequence[DesignData]
@@ -196,16 +230,19 @@ class InferenceEngine:
             with timed("infer.features"):
                 batch, subsets, images, cols = self._batch_struct(missed)
                 rows = batch.merged_endpoint_rows(subsets)
-                with no_grad():
-                    u_graph = model.extractor.gnn(batch.graph, rows).data
+                u_graph = model.extractor.gnn(batch.graph, rows).data
                 u_layout = cnn_forward(model.extractor.cnn, images,
                                        cols=cols)
                 u, u_n, u_d = self._disentangle(u_graph, u_layout)
+            # One digest recompute per coalesced batch: store the whole
+            # batch's triples only if the weights did not change under
+            # us while the fused forward ran.
+            storable = self.cache is not None and self._digest() == digest
             for (lo, hi), i in zip(
                     slice_ranges([len(s) for s in subsets]), misses):
                 triple = (u[lo:hi], u_n[lo:hi], u_d[lo:hi])
                 triples[i] = triple
-                if self.cache is not None:
+                if storable:
                     self.cache.store(designs[i], digest, triple)
         return triples  # type: ignore[return-value]
 
@@ -263,14 +300,13 @@ class InferenceEngine:
         """Arrival-time predictions, numerically matching
         ``TimingPredictor.predict`` — minus the autograd machinery, and
         with warm calls skipping the GNN/CNN via the feature cache."""
-        with timed("infer.predict"):
+        with self._rw.read(), no_grad(), timed("infer.predict"):
             u, u_n, u_d = self.features(design)
             if endpoint_subset is not None:
                 idx = np.asarray(endpoint_subset)
                 u, u_n, u_d = u[idx], u_n[idx], u_d[idx]
-            with no_grad():
-                mu, log_var = self.model._design_prior(
-                    design, u_n, u_d, self.transductive)
+            mu, log_var = self.model._design_prior(
+                design, u_n, u_d, self.transductive)
             mean, _ = self._readout(u, mu, log_var, mc_samples, rng,
                                     seed, with_std=False)
         return mean
@@ -282,14 +318,13 @@ class InferenceEngine:
                                  seed: int = 0
                                  ) -> Tuple[np.ndarray, np.ndarray]:
         """Predictive mean and std per endpoint (cached features)."""
-        with timed("infer.predict"):
+        with self._rw.read(), no_grad(), timed("infer.predict"):
             u, u_n, u_d = self.features(design)
             if endpoint_subset is not None:
                 idx = np.asarray(endpoint_subset)
                 u, u_n, u_d = u[idx], u_n[idx], u_d[idx]
-            with no_grad():
-                mu, log_var = self.model._design_prior(
-                    design, u_n, u_d, transductive=True)
+            mu, log_var = self.model._design_prior(
+                design, u_n, u_d, transductive=True)
             draw = rng if rng is not None else np.random.default_rng(seed)
             preds = self.model._sample_prior_predictions(
                 u, mu, log_var, mc_samples, draw)
@@ -311,7 +346,7 @@ class InferenceEngine:
         """
         if with_uncertainty and mc_samples <= 0:
             raise ValueError("uncertainty needs mc_samples > 0")
-        with timed("infer.predict_many"):
+        with self._rw.read(), no_grad(), timed("infer.predict_many"):
             triples = self._features_many(designs)
             mu_all, lv_all = self._batched_priors(designs, triples)
             out: Dict[str, Prediction] = {}
@@ -326,8 +361,42 @@ class InferenceEngine:
         return out
 
     # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def swap_model(self, model: TimingPredictor) -> None:
+        """Atomically replace the served predictor.
+
+        Takes the write side of the engine lock, so the swap waits for
+        in-flight predictions and no prediction can start mid-swap: a
+        request sees the old weights or the new, never a mixture.  The
+        feature cache needs no flush — its entries are digest-keyed, so
+        the new weights simply miss.  The weight-independent structure
+        caches survive unless the new model's first conv layer has a
+        different geometry (then the cached im2col columns are shaped
+        for the wrong kernel and are dropped).
+        """
+        old = self.model.extractor.cnn.conv1
+        new = model.extractor.cnn.conv1
+        compatible = (old.weight.data.shape == new.weight.data.shape
+                      and old.stride == new.stride
+                      and old.padding == new.padding)
+        with self._rw.write():
+            self.model = model
+            if not compatible:
+                self._image_cols.clear()
+                self._structs.clear()
+
+    # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/entry counters (zeros when the cache is disabled)."""
         if self.cache is None:
-            return {"hits": 0, "misses": 0, "entries": 0}
+            return {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
         return self.cache.stats()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Entry/eviction counters for every cache tier (for /stats)."""
+        return {
+            "features": self.cache_stats(),
+            "structs": self._structs.stats(),
+            "image_columns": self._image_cols.stats(),
+        }

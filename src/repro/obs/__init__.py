@@ -13,6 +13,7 @@ from .report import load_run, manifest_diff, render_loss_curve, render_run
 from .schema import (
     RECORD_SCHEMAS,
     validate_bench_inference,
+    validate_bench_serving,
     validate_manifest,
     validate_record,
     validate_run_dir,
@@ -32,6 +33,7 @@ __all__ = [
     "render_loss_curve",
     "render_run",
     "validate_bench_inference",
+    "validate_bench_serving",
     "validate_manifest",
     "validate_record",
     "validate_run_dir",

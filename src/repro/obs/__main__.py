@@ -5,8 +5,9 @@ the record schema; CI runs this over the smoke-train run directory so
 a silently broken telemetry writer fails the build.
 
 ``python -m repro.obs --bench BENCH_inference.json`` validates an
-inference-benchmark payload instead (same exit convention); CI runs it
-over the smoke bench's output.
+inference-benchmark payload instead (same exit convention), and
+``--bench-serving BENCH_serving.json`` validates a serving-benchmark
+payload; CI runs both over the smoke benches' outputs.
 """
 
 from __future__ import annotations
@@ -15,7 +16,11 @@ import argparse
 import json
 from typing import Optional, Sequence
 
-from .schema import validate_bench_inference, validate_run_dir
+from .schema import (
+    validate_bench_inference,
+    validate_bench_serving,
+    validate_run_dir,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -29,20 +34,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--bench", default=None, metavar="JSON",
                         help="validate a BENCH_inference.json payload "
                              "instead of a run directory")
+    parser.add_argument("--bench-serving", default=None, metavar="JSON",
+                        help="validate a BENCH_serving.json payload "
+                             "instead of a run directory")
     args = parser.parse_args(argv)
-    if (args.run_dir is None) == (args.bench is None):
-        parser.error("give exactly one of RUNDIR or --bench JSON")
+    targets = [t for t in (args.run_dir, args.bench, args.bench_serving)
+               if t is not None]
+    if len(targets) != 1:
+        parser.error("give exactly one of RUNDIR, --bench JSON, or "
+                     "--bench-serving JSON")
 
     warnings = []
-    if args.bench is not None:
+    if args.bench is not None or args.bench_serving is not None:
+        target = args.bench or args.bench_serving
+        validate = validate_bench_inference if args.bench is not None \
+            else validate_bench_serving
         try:
             payload = json.loads(
-                open(args.bench, encoding="utf-8").read())
+                open(target, encoding="utf-8").read())
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"{args.bench}: unreadable ({exc})")
+            print(f"{target}: unreadable ({exc})")
             return 1
-        errors = validate_bench_inference(payload)
-        target = args.bench
+        errors = validate(payload)
     else:
         errors = validate_run_dir(args.run_dir, warnings=warnings)
         target = args.run_dir
@@ -58,6 +71,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     if args.bench is not None:
         print(f"repro.obs: {target} valid (bench-inference schema)")
+    elif args.bench_serving is not None:
+        print(f"repro.obs: {target} valid (bench-serving schema)")
     else:
         print(f"repro.obs: {target} valid "
               "(manifest.json, steps.jsonl, summary.json)")

@@ -33,10 +33,12 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "BENCH_INFERENCE_SCHEMA",
+    "BENCH_SERVING_SCHEMA",
     "MANIFEST_REQUIRED",
     "RECORD_SCHEMAS",
     "SUMMARY_REQUIRED",
     "validate_bench_inference",
+    "validate_bench_serving",
     "validate_manifest",
     "validate_record",
     "validate_run_dir",
@@ -211,6 +213,65 @@ def validate_bench_inference(payload: Any) -> List[str]:
         return ["bench payload is not an object"]
     errors = []
     for section, fields in BENCH_INFERENCE_SCHEMA.items():
+        block = payload.get(section)
+        if not isinstance(block, Mapping):
+            errors.append(f"bench missing section {section!r}")
+            continue
+        for field, types in fields.items():
+            if field not in block:
+                errors.append(f"bench {section}.{field} missing")
+            elif not _type_ok(block[field], types):
+                errors.append(
+                    f"bench {section}.{field} has type "
+                    f"{type(block[field]).__name__}, expected "
+                    f"{'/'.join(t.__name__ for t in types)}"
+                )
+    if not isinstance(payload.get("smoke"), bool):
+        errors.append("bench missing boolean 'smoke' flag")
+    return errors
+
+
+#: section -> required fields of ``BENCH_serving.json`` (written by
+#: ``benchmarks/bench_serving.py``, validated in CI via
+#: ``python -m repro.obs --bench-serving``).  ``coalesced`` is the
+#: server with the batching window open, ``uncoalesced`` the identical
+#: server at window 0; ``speedup`` is their throughput ratio and
+#: ``equivalence`` the max deviation of a served prediction from the
+#: direct in-process engine answer.
+BENCH_SERVING_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    "coalesced": {
+        "requests_per_second": (int, float),
+        "p50_ms": (int, float),
+        "p99_ms": (int, float),
+        "clients": (int,),
+        "requests": (int,),
+        "batch_window_ms": (int, float),
+        "max_batch": (int,),
+        "mean_batch_size": (int, float),
+    },
+    "uncoalesced": {
+        "requests_per_second": (int, float),
+        "p50_ms": (int, float),
+        "p99_ms": (int, float),
+        "clients": (int,),
+        "requests": (int,),
+    },
+    "speedup": {
+        "throughput_ratio": (int, float),
+    },
+    "equivalence": {
+        "max_abs_diff": (int, float),
+        "atol": (int, float),
+    },
+}
+
+
+def validate_bench_serving(payload: Any) -> List[str]:
+    """Problems with a ``BENCH_serving.json`` object ([] when valid)."""
+    if not isinstance(payload, Mapping):
+        return ["bench payload is not an object"]
+    errors = []
+    for section, fields in BENCH_SERVING_SCHEMA.items():
         block = payload.get(section)
         if not isinstance(block, Mapping):
             errors.append(f"bench missing section {section!r}")

@@ -1,0 +1,33 @@
+"""Resident prediction server (`repro serve`).
+
+See DESIGN.md §13 "Serving architecture":
+
+- :class:`PredictionServer` — stdlib threaded HTTP server keeping one
+  warm :class:`~repro.infer.InferenceEngine` per loaded model;
+- :class:`RequestCoalescer` — fuses concurrent single-design requests
+  into one ``predict_many`` union-graph sweep per window;
+- :class:`ModelContainer` — versioned model holder with atomic
+  hot-reload (``POST /reload`` + mtime polling);
+- :class:`ServingClient` — stdlib benchmark/test client.
+"""
+
+from .client import ServingClient, ServingError
+from .coalescer import CoalescerClosed, PendingPrediction, RequestCoalescer
+from .server import (
+    ModelContainer,
+    PredictionServer,
+    PredictionService,
+    ServerConfig,
+)
+
+__all__ = [
+    "CoalescerClosed",
+    "ModelContainer",
+    "PendingPrediction",
+    "PredictionServer",
+    "PredictionService",
+    "RequestCoalescer",
+    "ServerConfig",
+    "ServingClient",
+    "ServingError",
+]

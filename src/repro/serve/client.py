@@ -1,0 +1,107 @@
+"""Minimal stdlib client for the resident prediction server.
+
+Used by the serving benchmark, the CI smoke job, and the tests — and
+handy interactively.  One :class:`ServingClient` wraps one persistent
+HTTP/1.1 connection (``http.client.HTTPConnection``), reconnecting
+transparently when the server closes it, so benchmark loops measure
+prediction cost rather than TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Optional
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class _NoDelayConnection(http.client.HTTPConnection):
+    """HTTPConnection with Nagle disabled — request latency must not
+    include a delayed-ACK round trip."""
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class ServingError(RuntimeError):
+    """Non-2xx response from the server; carries the decoded body."""
+
+    def __init__(self, status: int, body: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServingClient:
+    """One persistent connection to a :class:`PredictionServer`.
+
+    Not thread-safe — use one client per thread (that is also the
+    realistic serving pattern the benchmark wants to model).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = _NoDelayConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Server closed the keep-alive connection (idle timeout,
+                # restart); reconnect once before giving up.
+                self.close()
+                if attempt:
+                    raise
+        decoded = json.loads(data) if data else {}
+        if response.status >= 400:
+            raise ServingError(response.status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    def predict(self, design: str, mc_samples: int = 0, seed: int = 0,
+                uncertainty: bool = False) -> Dict[str, object]:
+        return self._request("POST", "/predict", {
+            "design": design, "mc_samples": mc_samples, "seed": seed,
+            "uncertainty": uncertainty})
+
+    def healthz(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    def reload(self) -> Dict[str, object]:
+        return self._request("POST", "/reload", {})
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

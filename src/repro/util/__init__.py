@@ -1,5 +1,6 @@
-"""Small cross-cutting utilities (timing, legacy-kernel switch)."""
+"""Small cross-cutting utilities (timing, concurrency, legacy switch)."""
 
+from .concurrency import RWLock
 from .legacy import is_legacy, legacy_mode
 from .timing import (
     format_timing_table,
@@ -11,6 +12,7 @@ from .timing import (
 )
 
 __all__ = [
+    "RWLock",
     "format_timing_table",
     "get_timings",
     "is_legacy",

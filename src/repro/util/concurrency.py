@@ -1,0 +1,83 @@
+"""Reader/writer lock for resident serving (`repro.serve`).
+
+The serving engine has one writer — a model hot-reload swapping the
+predictor — and many readers: handler threads running predictions.
+A plain mutex would serialize every prediction to protect against an
+event that happens once per deploy; :class:`RWLock` lets readers
+overlap (numpy releases the GIL inside the BLAS calls that dominate a
+prediction) while a swap gets true exclusivity, so no request can ever
+observe a half-swapped model.
+
+Writer preference: once a writer is waiting, new read acquisitions
+block, so a reload cannot be starved by a steady stream of requests.
+Read acquisition is *reentrant per thread* (the engine's public entry
+points call each other); write acquisition is not, and acquiring write
+while holding read on the same thread deadlocks by design — the engine
+never does that, and a lock sophisticated enough to upgrade would cost
+more than the event it guards.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Many concurrent readers, one exclusive writer, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        # Per-thread read-hold depth, for reentrant read acquisition.
+        self._local = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Shared acquisition; reentrant on the same thread."""
+        if self._depth() > 0:
+            # Already holding read on this thread: don't wait on a
+            # pending writer, or the outer hold would deadlock it.
+            self._local.depth += 1
+            try:
+                yield
+            finally:
+                self._local.depth -= 1
+            return
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._local.depth = 1
+        try:
+            yield
+        finally:
+            self._local.depth = 0
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive acquisition (not reentrant)."""
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()

@@ -216,3 +216,65 @@ class TestWorkerSites:
                          if s.kind == "process"]
         assert any(s.target_qualname == "repro.flow.cache._flow_worker"
                    for s in process_sites)
+
+
+# ----------------------------------------------------------------------
+# Threaded server handler classes
+# ----------------------------------------------------------------------
+class TestThreadedHandlers:
+    def test_base_http_handler_methods_are_worker_reachable(self,
+                                                            tmp_path):
+        program = _build(tmp_path, {
+            "srv.py": ("from http.server import BaseHTTPRequestHandler\n"
+                       "def shared_mutation():\n"
+                       "    pass\n"
+                       "class Handler(BaseHTTPRequestHandler):\n"
+                       "    def do_GET(self):\n"
+                       "        shared_mutation()\n"),
+        })
+        assert program.threaded_handler_classes() == {"pkg.srv.Handler"}
+        reach = program.worker_reachable()
+        assert "pkg.srv.Handler.do_GET" in reach
+        assert "pkg.srv.shared_mutation" in reach
+
+    def test_threading_mixin_subclass_detected(self, tmp_path):
+        program = _build(tmp_path, {
+            "srv.py": ("import socketserver\n"
+                       "class Server(socketserver.ThreadingMixIn,\n"
+                       "             socketserver.TCPServer):\n"
+                       "    def process(self):\n"
+                       "        pass\n"),
+        })
+        assert program.threaded_handler_classes() == {"pkg.srv.Server"}
+        assert "pkg.srv.Server.process" in program.worker_reachable()
+
+    def test_transitive_subclass_within_program(self, tmp_path):
+        program = _build(tmp_path, {
+            "base.py": ("from http.server import BaseHTTPRequestHandler\n"
+                        "class Base(BaseHTTPRequestHandler):\n"
+                        "    pass\n"),
+            "srv.py": ("from .base import Base\n"
+                       "class Handler(Base):\n"
+                       "    def do_POST(self):\n"
+                       "        pass\n"),
+        })
+        assert "pkg.srv.Handler" in program.threaded_handler_classes()
+        assert "pkg.srv.Handler.do_POST" in program.worker_reachable()
+
+    def test_plain_classes_are_not_flagged(self, tmp_path):
+        program = _build(tmp_path, {
+            "a.py": ("class Plain:\n"
+                     "    def method(self):\n"
+                     "        pass\n"),
+        })
+        assert program.threaded_handler_classes() == set()
+        assert "pkg.a.Plain.method" not in program.worker_reachable()
+
+    def test_repo_serve_handler_is_worker_reachable(self):
+        import repro
+
+        program = Program.build(Path(repro.__file__).parent, "repro")
+        assert "repro.serve.server._Handler" \
+            in program.threaded_handler_classes()
+        assert "repro.serve.server._Handler.do_POST" \
+            in program.worker_reachable()

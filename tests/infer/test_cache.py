@@ -96,7 +96,8 @@ class TestFeatureCache:
         cache.store(design, "d1", self._triple())
         hit = cache.lookup(design, "d1")
         assert hit is not None
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "evictions": 0}
 
     def test_stale_digest_misses_and_is_replaced(self):
         cache = FeatureCache()

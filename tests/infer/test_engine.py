@@ -69,7 +69,7 @@ class TestPredictEquivalence:
                                        reference[design.name],
                                        atol=ATOL)
         assert engine.cache_stats() == {"hits": 0, "misses": 0,
-                                        "entries": 0}
+                                        "entries": 0, "evictions": 0}
 
 
 class TestPredictMany:

@@ -3,6 +3,7 @@
 import json
 
 from repro.obs import (
+    validate_bench_serving,
     validate_manifest,
     validate_record,
     validate_run_dir,
@@ -129,3 +130,60 @@ class TestRunDirValidation:
         steps.write_text(good + "not json\n" + good)
         problems = validate_run_dir(tmp_path / "run")
         assert any("steps.jsonl:2" in p for p in problems)
+
+
+class TestBenchServingSchema:
+    @staticmethod
+    def _valid_payload():
+        return {
+            "coalesced": {
+                "requests_per_second": 800.0, "p50_ms": 12.0,
+                "p99_ms": 20.0, "clients": 12, "requests": 300,
+                "batch_window_ms": 5.0, "max_batch": 12,
+                "mean_batch_size": 10.0,
+            },
+            "uncoalesced": {
+                "requests_per_second": 400.0, "p50_ms": 27.0,
+                "p99_ms": 60.0, "clients": 12, "requests": 300,
+            },
+            "speedup": {"throughput_ratio": 2.0},
+            "equivalence": {"max_abs_diff": 1e-18, "atol": 1e-10},
+            "smoke": False,
+        }
+
+    def test_valid_payload_passes(self):
+        assert validate_bench_serving(self._valid_payload()) == []
+
+    def test_extra_fields_allowed(self):
+        payload = self._valid_payload()
+        payload["workload"] = {"mc_samples": 256}
+        payload["coalesced"]["extra"] = "ok"
+        assert validate_bench_serving(payload) == []
+
+    def test_non_object_rejected(self):
+        assert validate_bench_serving([1, 2]) \
+            == ["bench payload is not an object"]
+
+    def test_missing_section_named(self):
+        payload = self._valid_payload()
+        del payload["speedup"]
+        assert validate_bench_serving(payload) \
+            == ["bench missing section 'speedup'"]
+
+    def test_missing_field_named(self):
+        payload = self._valid_payload()
+        del payload["coalesced"]["mean_batch_size"]
+        assert validate_bench_serving(payload) \
+            == ["bench coalesced.mean_batch_size missing"]
+
+    def test_bool_rejected_in_numeric_slot(self):
+        payload = self._valid_payload()
+        payload["uncoalesced"]["p50_ms"] = True
+        problems = validate_bench_serving(payload)
+        assert problems and "uncoalesced.p50_ms" in problems[0]
+
+    def test_missing_smoke_flag(self):
+        payload = self._valid_payload()
+        del payload["smoke"]
+        assert validate_bench_serving(payload) \
+            == ["bench missing boolean 'smoke' flag"]

@@ -1,0 +1,57 @@
+"""Shared fixtures for the serving tests.
+
+Same two-design cross-node setup as ``tests/infer`` (light
+``resolution=16`` flow runs, module scope) plus a trained predictor
+saved to disk for the hot-reload tests."""
+
+import numpy as np
+import pytest
+
+from repro.features import GateVocabulary, normalize_features
+from repro.flow import run_flow
+from repro.infer import save_predictor
+from repro.model import TimingPredictor
+from repro.techlib import make_asap7_library, make_sky130_library
+
+
+@pytest.fixture(scope="module")
+def designs():
+    libraries = {"130nm": make_sky130_library(),
+                 "7nm": make_asap7_library()}
+    vocab = GateVocabulary(list(libraries.values()))
+    out = [
+        run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                 resolution=16),
+        run_flow("spiMaster", "130nm", libraries, vocab=vocab,
+                 resolution=16),
+    ]
+    normalize_features([d.graph for d in out])
+    return out
+
+
+@pytest.fixture(scope="module")
+def model(designs):
+    m = TimingPredictor(designs[0].graph.features.shape[1], seed=0)
+    m.finalize_node_priors(designs)
+    return m
+
+
+@pytest.fixture()
+def other_model(designs):
+    """A second predictor with different weights (for hot-reload)."""
+    m = TimingPredictor(designs[0].graph.features.shape[1], seed=1)
+    m.finalize_node_priors(designs)
+    return m
+
+
+@pytest.fixture()
+def model_file(model, tmp_path):
+    path = tmp_path / "model.npz"
+    save_predictor(model, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference(model, designs):
+    """Seed-path predictions for every design."""
+    return {d.name: model.predict(d) for d in designs}

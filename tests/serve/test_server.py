@@ -1,0 +1,268 @@
+"""PredictionServer over real sockets: routes, errors, hot-reload.
+
+The hot-reload invariant under test (DESIGN.md §13): a request served
+concurrently with a model swap returns the old model's answer or the
+new model's answer — never a mixture, never garbage — and a corrupt
+checkpoint never takes down the old model."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.infer import save_predictor, weight_digest
+from repro.serve import (
+    PredictionServer,
+    ServerConfig,
+    ServingClient,
+    ServingError,
+)
+from repro.serve.server import warm_up
+
+ATOL = 1e-10
+
+
+@pytest.fixture()
+def server(designs, model):
+    config = ServerConfig(port=0, batch_window_ms=2.0)
+    with PredictionServer(designs, model, config=config) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServingClient(server.host, server.port) as c:
+        yield c
+
+
+class TestRoutes:
+    def test_healthz(self, client, model):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["designs"] == 2
+        assert body["generation"] == 1
+        assert body["digest"] == weight_digest(model)
+
+    def test_predict_matches_seed_path(self, client, designs,
+                                       reference):
+        for design in designs:
+            body = client.predict(design.name)
+            assert body["design"] == design.name
+            assert body["node"] == design.node
+            assert body["num_endpoints"] == design.num_endpoints
+            assert body["std"] is None
+            assert body["coalesced"] >= 1
+            np.testing.assert_allclose(np.asarray(body["mean"]),
+                                       reference[design.name],
+                                       atol=ATOL)
+
+    def test_predict_with_uncertainty(self, client, designs, model):
+        body = client.predict(designs[1].name, mc_samples=16,
+                              uncertainty=True)
+        ref_mean, ref_std = model.predict_with_uncertainty(
+            designs[1], mc_samples=16, seed=0)
+        np.testing.assert_allclose(np.asarray(body["mean"]), ref_mean,
+                                   atol=ATOL)
+        np.testing.assert_allclose(np.asarray(body["std"]), ref_std,
+                                   atol=ATOL)
+
+    def test_stats_shape(self, client, designs):
+        client.predict(designs[0].name)
+        body = client.stats()
+        assert body["requests"] >= 1
+        assert body["latency"]["count"] >= 1
+        assert body["latency"]["p99_ms"] >= body["latency"]["p50_ms"] >= 0
+        assert "features" in body["engine"]
+        assert "structs" in body["engine"]
+        assert body["coalescer"]["requests"] >= 1
+        assert body["model"]["generation"] == 1
+
+    def test_window_zero_bypasses_coalescer(self, designs, model,
+                                            reference):
+        config = ServerConfig(port=0, batch_window_ms=0.0)
+        with PredictionServer(designs, model, config=config) as srv:
+            with ServingClient(srv.host, srv.port) as c:
+                body = c.predict(designs[0].name)
+                stats = c.stats()
+        assert stats["coalescer"] is None
+        assert body["coalesced"] == 1
+        np.testing.assert_allclose(np.asarray(body["mean"]),
+                                   reference[designs[0].name],
+                                   atol=ATOL)
+
+
+class TestErrors:
+    def test_unknown_design_404(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client.predict("no_such_design")
+        assert excinfo.value.status == 404
+        assert "no_such_design" in str(excinfo.value)
+
+    def test_unknown_route_404(self, server):
+        with ServingClient(server.host, server.port) as c:
+            with pytest.raises(ServingError) as excinfo:
+                c._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_json_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            conn.request("POST", "/predict", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            body = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "bad request body" in body["error"]
+
+    def test_missing_design_field_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client._request("POST", "/predict", {"mc_samples": 3})
+        assert excinfo.value.status == 400
+
+    def test_reload_without_model_path_400(self, client):
+        with pytest.raises(ServingError) as excinfo:
+            client.reload()
+        assert excinfo.value.status == 400
+        assert "without --model" in str(excinfo.value)
+
+
+class TestHotReload:
+    def _serve(self, designs, model, model_file, **config_kwargs):
+        config = ServerConfig(port=0, batch_window_ms=2.0,
+                              **config_kwargs)
+        return PredictionServer(designs, model, model_path=model_file,
+                                config=config)
+
+    def test_reload_swaps_to_new_weights(self, designs, model,
+                                         other_model, model_file):
+        with self._serve(designs, model, model_file) as srv:
+            with ServingClient(srv.host, srv.port) as c:
+                before = c.predict(designs[0].name)
+                save_predictor(other_model, model_file)
+                status = c.reload()
+                after = c.predict(designs[0].name)
+        assert status["reloaded"] is True
+        assert status["generation"] == 2
+        assert status["digest"] == weight_digest(other_model)
+        assert after["generation"] == 2
+        ref = other_model.predict(designs[0])
+        np.testing.assert_allclose(np.asarray(after["mean"]), ref,
+                                   atol=ATOL)
+        assert not np.allclose(np.asarray(before["mean"]),
+                               np.asarray(after["mean"]))
+
+    def test_corrupt_checkpoint_keeps_old_model(self, designs, model,
+                                                model_file, reference):
+        with self._serve(designs, model, model_file) as srv:
+            with ServingClient(srv.host, srv.port) as c:
+                model_file.write_bytes(b"garbage, not a zip archive")
+                with pytest.raises(ServingError) as excinfo:
+                    c.reload()
+                # The old model must still serve, and /stats must
+                # report the failure.
+                body = c.predict(designs[0].name)
+                stats = c.stats()
+        assert excinfo.value.status == 500
+        assert excinfo.value.body["error_type"] == "CheckpointError"
+        assert stats["model"]["failed_reloads"] == 1
+        assert stats["model"]["last_reload_error"]
+        assert stats["model"]["generation"] == 1
+        np.testing.assert_allclose(np.asarray(body["mean"]),
+                                   reference[designs[0].name],
+                                   atol=ATOL)
+
+    def test_mtime_poll_triggers_reload(self, designs, model,
+                                        other_model, model_file):
+        import os
+        import time
+
+        with self._serve(designs, model, model_file,
+                         poll_interval=0.05) as srv:
+            with ServingClient(srv.host, srv.port) as c:
+                assert c.healthz()["generation"] == 1
+                save_predictor(other_model, model_file)
+                # Make the mtime change unambiguous on coarse clocks.
+                future = time.time() + 5
+                os.utime(model_file, (future, future))
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if c.healthz()["generation"] == 2:
+                        break
+                    time.sleep(0.05)
+                assert c.healthz()["generation"] == 2
+                assert c.healthz()["digest"] == \
+                    weight_digest(other_model)
+
+    def test_reload_mid_traffic_old_or_new_never_garbage(
+            self, designs, model, other_model, model_file):
+        """Hammer predictions while the model is swapped back and forth;
+        every answer must exactly match one of the two models."""
+        ref_a = {d.name: model.predict(d) for d in designs}
+        ref_b = {d.name: other_model.predict(d) for d in designs}
+        errors = []
+        stop = threading.Event()
+
+        with self._serve(designs, model, model_file) as srv:
+            warm_up(srv.service)
+
+            def hammer(i):
+                with ServingClient(srv.host, srv.port,
+                                   timeout=60.0) as c:
+                    k = 0
+                    while not stop.is_set() and k < 200:
+                        design = designs[(i + k) % len(designs)]
+                        k += 1
+                        try:
+                            out = np.asarray(
+                                c.predict(design.name)["mean"])
+                        except ServingError as exc:
+                            # A typed, reported failure is acceptable;
+                            # garbage is not.
+                            errors.append(("http", exc.status))
+                            continue
+                        ok_a = np.allclose(out, ref_a[design.name],
+                                           atol=ATOL)
+                        ok_b = np.allclose(out, ref_b[design.name],
+                                           atol=ATOL)
+                        if not (ok_a or ok_b):
+                            errors.append(("garbage", design.name))
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            with ServingClient(srv.host, srv.port, timeout=60.0) as rc:
+                for flip in range(6):
+                    save_predictor(other_model if flip % 2 == 0
+                                   else model, model_file)
+                    status = rc.reload()
+                    assert status["reloaded"] is True
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+
+class TestConfigAndLifecycle:
+    def test_port_zero_binds_ephemeral(self, server):
+        assert server.port > 0
+
+    def test_stop_is_idempotent(self, designs, model):
+        srv = PredictionServer(designs, model,
+                               config=ServerConfig(port=0))
+        srv.start()
+        srv.stop()
+        srv.stop()
+
+    def test_warm_up_primes_cache(self, designs, model):
+        config = ServerConfig(port=0, batch_window_ms=0.0)
+        with PredictionServer(designs, model, config=config) as srv:
+            warmed = warm_up(srv.service)
+            stats = srv.container.engine.cache_stats()
+        assert warmed == len(designs)
+        assert stats["entries"] == len(designs)
