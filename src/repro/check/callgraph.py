@@ -398,6 +398,10 @@ class Program:
                 self.class_stack: List[str] = []
                 #: variable name -> "process" | "thread" pool kind.
                 self.pool_vars: Dict[str, str] = {}
+                #: variables bound to multiprocessing.get_context(...):
+                #: `ctx.Process(target=...)` is a process hand-off even
+                #: though `ctx` itself resolves to nothing importable.
+                self.ctx_vars: Set[str] = set()
 
             def visit_ClassDef(self, node: ast.ClassDef) -> None:
                 self.class_stack.append(node.name)
@@ -435,6 +439,14 @@ class Program:
                 kind = self._pool_kind_of_expr(value)
                 if kind and isinstance(target, ast.Name):
                     self.pool_vars[target.id] = kind
+                if isinstance(target, ast.Name) \
+                        and isinstance(value, ast.Call):
+                    resolved = program.resolve_dotted(
+                        module, value.func,
+                        self.class_stack[-1] if self.class_stack
+                        else None) or ""
+                    if resolved.rsplit(".", 1)[-1] == "get_context":
+                        self.ctx_vars.add(target.id)
 
             def visit_Assign(self, node: ast.Assign) -> None:
                 for target in node.targets:
@@ -479,13 +491,18 @@ class Program:
                         self.class_stack[-1] if self.class_stack
                         else None) or ""
                     leaf = resolved.rsplit(".", 1)[-1]
-                    if leaf in ("Thread", "Process") or resolved in (
-                            "threading.Thread",
-                            "multiprocessing.Process"):
+                    ctx_process = (isinstance(func, ast.Attribute)
+                                   and func.attr == "Process"
+                                   and isinstance(func.value, ast.Name)
+                                   and func.value.id in self.ctx_vars)
+                    if leaf in ("Thread", "Process") or ctx_process \
+                            or resolved in ("threading.Thread",
+                                            "multiprocessing.Process"):
                         for kw in node.keywords:
                             if kw.arg == "target":
                                 target_node = kw.value
-                        kind = "process" if leaf == "Process" \
+                        kind = "process" \
+                            if leaf == "Process" or ctx_process \
                             else "thread"
                 if target_node is None:
                     return

@@ -23,6 +23,15 @@ from pathlib import Path
 import numpy as np
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (e.g. --workers)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
 def _libraries():
     from .experiments import make_libraries
 
@@ -163,9 +172,12 @@ def cmd_train(args) -> int:
     from .train import (
         CHECKPOINT_NAME,
         OursTrainer,
+        ParallelTrainer,
         TrainConfig,
         load_checkpoint,
         r2_score,
+        resolve_worker_count,
+        split_by_node,
     )
     from .util import get_timings, reset_timings, timing_report
 
@@ -194,9 +206,21 @@ def cmd_train(args) -> int:
     with RunLogger(run_dir, resume=checkpoint is not None,
                    resume_step=None if checkpoint is None
                    else checkpoint.step) as logger:
-        dataset = build_dataset(workers=args.workers,
+        dataset = build_dataset(workers=args.build_workers,
                                 use_cache=not args.no_cache,
                                 cache_dir=args.cache_dir)
+        # Training parallelism is an execution choice, not part of the
+        # training config: any --workers value resumes any checkpoint
+        # (the parent owns every RNG draw and the optimizer state), so
+        # --workers stays live on --resume invocations too.  Bit-exact
+        # continuation of a parallel run needs the original count.
+        workers = args.workers
+        if workers is not None:
+            source, target = split_by_node(dataset.train)
+            workers, notes = resolve_worker_count(
+                workers, n_source=len(source), n_target=len(target))
+            for note in notes:
+                print(f"warning: {note}")
         if checkpoint is None:
             logger.log_manifest(
                 config=config,
@@ -205,20 +229,28 @@ def cmd_train(args) -> int:
                 extra={"dataset": {"scale": DATASET_SCALE["scale"],
                                    "resolution":
                                        DATASET_SCALE["resolution"],
-                                   "workers": args.workers,
-                                   "use_cache": not args.no_cache}},
+                                   "workers": args.build_workers,
+                                   "use_cache": not args.no_cache},
+                       "parallel": {"workers": workers}},
             )
         else:
             logger.annotate_manifest(interrupted=False,
                                      resumed_from_step=checkpoint.step)
         model_seed = config.seed if checkpoint is not None else args.seed
         model = TimingPredictor(dataset.in_features, seed=model_seed)
-        trainer = OursTrainer(model, dataset.train, config, logger=logger)
+        if workers is not None:
+            trainer = ParallelTrainer(model, dataset.train, config,
+                                      logger=logger, workers=workers)
+        else:
+            trainer = OursTrainer(model, dataset.train, config,
+                                  logger=logger)
         trainer.profile_ops = bool(args.profile)
         if checkpoint is not None:
             trainer.load_checkpoint(run_dir / CHECKPOINT_NAME)
         else:
-            print(f"training ours for {config.steps} steps ...")
+            suffix = "" if workers is None \
+                else f" across {workers} worker process(es)"
+            print(f"training ours for {config.steps} steps{suffix} ...")
 
         sig_state: dict = {}
         previous_handlers = _install_stop_handlers(trainer, sig_state)
@@ -420,7 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train the paper's model")
     p.add_argument("--steps", type=int, default=150)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   metavar="N",
+                   help="data-parallel training worker processes: the "
+                        "step's design union is sharded across N "
+                        "forked workers and the parent averages their "
+                        "gradients (default: single-process step; "
+                        "--workers 1 is bit-identical to it; clamped "
+                        "to the CPU count and to the usable shard "
+                        "count with a warning)")
+    p.add_argument("--build-workers", type=_positive_int, default=1,
+                   metavar="N",
                    help="processes for cold dataset builds")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk design cache")

@@ -1,0 +1,119 @@
+"""Flat float64 views of parameter and gradient sets.
+
+The data-parallel trainer (:mod:`repro.train.parallel`) moves
+gradients and weights between processes through preallocated
+``multiprocessing.shared_memory`` buffers — one contiguous float64
+vector per direction, no per-step pickling.  These helpers define the
+(only) layout both sides use: parameters in ``Module.parameters()``
+order, each flattened C-contiguously.
+
+Gradients need one extra bit per parameter: the optimisers treat a
+``None`` gradient as "skip this parameter" (no Adam moment decay, no
+weight-decay shrink), which is *not* the same as an all-zero gradient.
+``write_grads`` therefore returns a presence mask alongside the packed
+vector, and ``read_grads`` restores ``None`` for absent entries — so a
+gradient round-trip through the flat buffer is exact, including the
+skip structure, and a one-worker parallel step reproduces the
+single-process step bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["flat_size", "read_grads", "read_params", "write_grads",
+           "write_params"]
+
+
+def flat_size(parameters: Sequence[Tensor]) -> int:
+    """Total element count of the flat vector for ``parameters``."""
+    return int(sum(p.data.size for p in parameters))
+
+
+def _check_length(parameters: Sequence[Tensor], flat: np.ndarray,
+                  what: str) -> None:
+    need = flat_size(parameters)
+    if flat.ndim != 1 or flat.size != need:
+        raise ValueError(
+            f"{what} buffer has shape {flat.shape}, expected a flat "
+            f"vector of {need} elements"
+        )
+
+
+def write_params(parameters: Sequence[Tensor], out: np.ndarray) -> None:
+    """Pack every parameter's data into the flat vector ``out``."""
+    _check_length(parameters, out, "parameter")
+    offset = 0
+    for p in parameters:
+        size = p.data.size
+        out[offset:offset + size] = p.data.reshape(-1)
+        offset += size
+
+
+def read_params(parameters: Sequence[Tensor], flat: np.ndarray) -> None:
+    """Scatter a :func:`write_params` vector back into the parameters.
+
+    Writes in place (``p.data[...] = ...``) so array identity is
+    preserved — a compiled program holding references to the parameter
+    arrays keeps replaying without a retrace.
+    """
+    _check_length(parameters, flat, "parameter")
+    offset = 0
+    for p in parameters:
+        size = p.data.size
+        # repro-check: disable=tensor-data-mutation -- weight broadcast writes leaf tensors between steps, outside any graph
+        p.data[...] = flat[offset:offset + size].reshape(p.data.shape)
+        offset += size
+
+
+def write_grads(parameters: Sequence[Tensor],
+                out: np.ndarray) -> List[bool]:
+    """Pack gradients into ``out``; returns the presence mask.
+
+    Parameters with ``grad is None`` contribute zeros to the vector and
+    ``False`` to the mask.
+    """
+    _check_length(parameters, out, "gradient")
+    mask: List[bool] = []
+    offset = 0
+    for p in parameters:
+        size = p.data.size
+        if p.grad is None:
+            out[offset:offset + size] = 0.0
+            mask.append(False)
+        else:
+            out[offset:offset + size] = \
+                np.asarray(p.grad, dtype=np.float64).reshape(-1)
+            mask.append(True)
+        offset += size
+    return mask
+
+
+def read_grads(parameters: Sequence[Tensor], flat: np.ndarray,
+               mask: Optional[Sequence[bool]] = None) -> None:
+    """Load a :func:`write_grads` vector into the parameters' ``.grad``.
+
+    ``mask`` restores the ``None``-gradient structure recorded by
+    :func:`write_grads`; without one, every parameter receives a
+    gradient array.  Arrays are copied out of ``flat``, so the caller
+    may reuse the buffer immediately.
+    """
+    _check_length(parameters, flat, "gradient")
+    if mask is not None and len(mask) != len(parameters):
+        raise ValueError(
+            f"gradient mask has {len(mask)} entries for "
+            f"{len(parameters)} parameters"
+        )
+    offset = 0
+    for i, p in enumerate(parameters):
+        size = p.data.size
+        if mask is not None and not mask[i]:
+            p.grad = None
+        else:
+            p.grad = flat[offset:offset + size] \
+                .reshape(p.data.shape).copy()
+        offset += size

@@ -25,6 +25,9 @@ __all__ = ["load_run", "manifest_diff", "render_loss_curve", "render_run"]
 _NON_SERIES_FIELDS = frozenset({
     "kind", "step", "lr", "step_seconds", "warmup", "stage",
     "grad_norm", "grad_norm_clipped",
+    # Data-parallel execution telemetry (ParallelTrainer step records)
+    # — machine facts, not loss series.
+    "workers", "shard_seconds_max", "shard_seconds_mean",
 })
 
 #: Preferred ordering for the series charts (anything else follows,

@@ -85,6 +85,10 @@ class TrainingCheckpoint:
     swa_sum: Optional[List[np.ndarray]] = None
     swa_count: int = 0
     history: List[Dict[str, Any]] = field(default_factory=list)
+    #: Informational execution metadata (e.g. the worker count of a
+    #: data-parallel run).  Never binding: the math is identical for
+    #: any worker count, so a resume may use a different one.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
 
 def _flatten_optimizer(state: Mapping[str, Any],
@@ -127,7 +131,8 @@ def save_checkpoint(path: Union[str, Path], *, step: int,
                     keeper: Any = None, selector: Any = None,
                     swa_sum: Optional[Sequence[np.ndarray]] = None,
                     swa_count: int = 0,
-                    history: Sequence[Mapping[str, Any]] = ()) -> Path:
+                    history: Sequence[Mapping[str, Any]] = (),
+                    extra: Optional[Mapping[str, Any]] = None) -> Path:
     """Atomically persist a mid-run training snapshot to ``path``.
 
     ``step`` counts *completed* optimisation steps; a resumed run
@@ -177,6 +182,7 @@ def save_checkpoint(path: Union[str, Path], *, step: int,
         "swa_count": int(swa_count),
         "swa_len": 0 if swa_sum is None else len(swa_sum),
         "history": [dict(record) for record in history],
+        "extra": {} if extra is None else dict(extra),
     }
     arrays["meta"] = np.array(json.dumps(meta))
     return atomic_savez(path, arrays)
@@ -262,4 +268,5 @@ def load_checkpoint(path: Union[str, Path]) -> TrainingCheckpoint:
         swa_sum=swa_sum,
         swa_count=int(meta.get("swa_count", 0)),
         history=list(meta.get("history", [])),
+        extra=dict(meta.get("extra") or {}),
     )

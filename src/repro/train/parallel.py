@@ -1,0 +1,503 @@
+"""Data-parallel training: shard the fused step across processes.
+
+The compiled fused step (DESIGN.md §11) saturates one core, so the
+remaining scaling axis is width.  :class:`ParallelTrainer` splits each
+step's design union along its natural cut point — the contiguous
+per-design row ranges of the fused batch (:func:`.fused.slice_ranges`)
+— across N persistent worker processes.  Each worker owns one
+contiguous block of the source designs and one of the target designs
+(:func:`.fused.partition_counts`), builds its *own*
+:class:`~repro.train.fused.FusedDesignBatch` and compiled program over
+just those designs, and computes loss parts + parameter gradients on
+its shard (:func:`repro.train.worker.shard_worker_main`).
+
+**Transport.**  All tensor traffic goes through preallocated
+``multiprocessing.shared_memory`` buffers laid out by
+:mod:`repro.nn.flat`: one weights vector the parent writes before every
+dispatch, and per-worker input (endpoint subsets + pre-drawn MC noise)
+and gradient vectors.  The control pipes carry only tiny tuples
+(scalars and bool masks) — no per-step pickling of tensors.  Workers
+are forked, so they inherit the model, design data and the shared
+buffers directly; they never re-attach by name (which would double-
+register the segments with the resource tracker).
+
+**Determinism contract.**  The parent is the only process that ever
+consumes an RNG: it draws every design's endpoint subset and MC noise
+in the exact global source-then-target order the single-process step
+uses (:meth:`OursTrainer._sample_subsets` /
+:meth:`OursTrainer._noise_inputs`), then ships each shard its slice.
+Workers are pure functions of (weights, subsets, noise).  Hence the
+random streams — and therefore checkpoints, which capture only
+parent-side state (PR 5's RNG capture) — are identical for *any*
+worker count, a ``workers=1`` run is bit-for-bit equal to the
+single-process step (the gradient round-trip through the flat buffers
+is exact, including the ``None``-grad skip structure), and a killed
+run resumed *at the same worker count* reproduces the uninterrupted
+run bit-for-bit.  A checkpoint never binds the count — any fleet size
+resumes any checkpoint — but since the N > 1 objective depends on the
+sharding, only the same count (or N = 1, which equals single-process)
+continues the exact number stream.
+
+**Objective.**  The fused loss does not decompose exactly across
+design shards for N > 1: the amortised priors (population means over
+the batch), the contrastive term and the CMD term couple all designs.
+Like per-device InfoNCE in standard DDP practice, each shard computes
+these terms over its own designs and the parent averages shard losses
+and gradients weighted by shard endpoint counts — exact at N = 1,
+and a documented approximation for N > 1 (bench records the measured
+deviation; see DESIGN.md §14).
+
+**Failure/restart semantics.**  The parent holds the only optimiser
+and all checkpoint state.  A worker that dies or stops replying raises
+:class:`WorkerError` in the parent; recovery is ``--resume`` from the
+last periodic checkpoint, which restarts a fresh worker fleet.
+Workers are daemonic and exit on command-pipe EOF, so a hard-killed
+parent cannot leak them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..flow import DesignData
+from ..model import TimingPredictor
+from ..nn.flat import flat_size, write_params
+from ..obs import RunLogger
+from ..util import merge_timings
+from .fused import partition_counts, slice_ranges
+from .trainer import OursTrainer, TrainConfig
+from .worker import shard_worker_main
+
+__all__ = ["ParallelTrainer", "ShardChannel", "WorkerError",
+           "resolve_worker_count"]
+
+
+class WorkerError(RuntimeError):
+    """A shard worker died, failed, or stopped replying."""
+
+
+def resolve_worker_count(requested: int, *, n_source: int, n_target: int,
+                         cpu_count: Optional[int] = None
+                         ) -> Tuple[int, List[str]]:
+    """Validated effective worker count plus human-readable warnings.
+
+    Rejects ``requested < 1``; clamps to the machine's CPU count (more
+    processes than cores only add switching overhead) and to
+    ``min(n_source, n_target)`` (every shard needs at least one design
+    from each node, and an idle shard wastes a process).  The CLI
+    prints the warnings; library callers may ignore them.
+    """
+    if requested < 1:
+        raise ValueError(f"workers must be >= 1, got {requested}")
+    warnings: List[str] = []
+    effective = requested
+    cores = cpu_count if cpu_count is not None else \
+        (multiprocessing.cpu_count() or 1)
+    if effective > cores:
+        warnings.append(
+            f"--workers {effective} exceeds the machine's {cores} "
+            f"CPU(s); clamping to {cores}"
+        )
+        effective = cores
+    usable = min(n_source, n_target)
+    if usable >= 1 and effective > usable:
+        warnings.append(
+            f"--workers {effective} exceeds the {usable} usable "
+            f"shard(s) (min of {n_source} source / {n_target} target "
+            f"designs); clamping to {usable} — idle shards would "
+            f"waste processes"
+        )
+        effective = usable
+    return effective, warnings
+
+
+@dataclass
+class _ShardReply:
+    """One worker's per-step result (scalars only; grads ride in shm)."""
+
+    values: Dict[str, float]
+    mask: Tuple[bool, ...]
+    seconds: float
+    timings: Optional[Dict[str, Dict[str, float]]]
+
+
+class ShardChannel:
+    """Parent/worker rendezvous for one shard: shared buffers + pipes.
+
+    Created in the parent *before* the fork, so the worker inherits the
+    :class:`~multiprocessing.shared_memory.SharedMemory` objects and
+    the numpy views over them — both sides address the same pages and
+    nobody ever re-attaches a segment by name.  Layout per shard design
+    ``i`` (capacities fixed at construction, actual sizes travel in the
+    step command):
+
+    - ``subsets``: ``batch_endpoints`` int64 slots,
+    - ``eps_q``: ``mc_samples * batch_endpoints * feature_size``
+      float64 slots,
+    - ``eps_p``: ``mc_samples * feature_size`` float64 slots (only
+      when the prior term is active).
+
+    ``grads`` is the worker's flat output vector
+    (:func:`repro.nn.flat.write_grads` layout) and ``weights`` the
+    fleet-shared parameter vector the parent rewrites before every
+    dispatch.  The parent owns (and unlinks) every segment.
+    """
+
+    def __init__(self, ctx, *, n_designs: int, batch_endpoints: int,
+                 mc_samples: int, feature_size: int, ship_prior: bool,
+                 grad_elems: int, weights: np.ndarray) -> None:
+        self.n_designs = n_designs
+        self._cap = batch_endpoints
+        self._mc = mc_samples
+        self._m = feature_size
+        self._epsq = mc_samples * batch_endpoints * feature_size
+        self._epsp = mc_samples * feature_size if ship_prior else 0
+        sub_elems = n_designs * self._cap
+        eps_elems = n_designs * (self._epsq + self._epsp)
+        self._shm_in = shared_memory.SharedMemory(
+            create=True, size=max(8, 8 * (sub_elems + eps_elems)))
+        self._shm_grads = shared_memory.SharedMemory(
+            create=True, size=max(8, 8 * grad_elems))
+        self._subs = np.frombuffer(self._shm_in.buf, dtype=np.int64,
+                                   count=sub_elems)
+        self._eps = np.frombuffer(self._shm_in.buf, dtype=np.float64,
+                                  count=eps_elems, offset=8 * sub_elems)
+        self.grads = np.frombuffer(self._shm_grads.buf, dtype=np.float64,
+                                   count=grad_elems)
+        self.weights = weights
+        self.cmd_recv, self.cmd_send = ctx.Pipe(duplex=False)
+        self.res_recv, self.res_send = ctx.Pipe(duplex=False)
+
+    # -- pipe hygiene ---------------------------------------------------
+    # Each side closes the ends it does not use, so a dead parent turns
+    # into EOF on the worker's command pipe (and vice versa) instead of
+    # a silent hang.
+    def as_parent(self) -> None:
+        self.cmd_recv.close()
+        self.res_send.close()
+
+    def as_worker(self) -> None:
+        self.cmd_send.close()
+        self.res_recv.close()
+
+    # -- per-design regions --------------------------------------------
+    def write_subsets(self, subsets: Sequence[np.ndarray]) -> None:
+        for i, subset in enumerate(subsets):
+            off = i * self._cap
+            self._subs[off:off + len(subset)] = subset
+
+    def read_subsets(self, sizes: Sequence[int]) -> List[np.ndarray]:
+        return [self._subs[i * self._cap:i * self._cap + n].copy()
+                for i, n in enumerate(sizes)]
+
+    def write_noise(self, i: int, eps_q: np.ndarray,
+                    eps_p: Optional[np.ndarray]) -> None:
+        base = i * (self._epsq + self._epsp)
+        self._eps[base:base + eps_q.size] = eps_q.reshape(-1)
+        if eps_p is not None and self._epsp:
+            off = base + self._epsq
+            self._eps[off:off + eps_p.size] = eps_p.reshape(-1)
+
+    def read_noise(self, i: int, size: int
+                   ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        base = i * (self._epsq + self._epsp)
+        used = self._mc * size * self._m
+        eps_q = self._eps[base:base + used] \
+            .reshape(self._mc, size, self._m).copy()
+        eps_p = None
+        if self._epsp:
+            off = base + self._epsq
+            eps_p = self._eps[off:off + self._epsp] \
+                .reshape(self._mc, 1, self._m).copy()
+        return eps_q, eps_p
+
+    # -- teardown -------------------------------------------------------
+    def close(self, unlink: bool = False) -> None:
+        """Release the buffers (parent passes ``unlink=True``)."""
+        # Drop the numpy views first: SharedMemory.close() refuses to
+        # tear down a mapping that still has exported buffers.  The
+        # weights view belongs to the fleet-shared segment — clearing
+        # the reference here lets the owner close that one too.
+        self._subs = self._eps = self.grads = self.weights = None
+        for shm in (self._shm_in, self._shm_grads):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            if unlink:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+
+class ParallelTrainer(OursTrainer):
+    """Data-parallel :class:`OursTrainer`: N shard workers, one learner.
+
+    Drop-in replacement for :class:`OursTrainer` — ``fit``, SWA,
+    held-out selection, checkpointing and graceful stop are inherited
+    unchanged; only :meth:`step` is overridden to dispatch shards and
+    average their gradients.  ``workers`` is an execution knob, not
+    part of :class:`TrainConfig`: a checkpoint written at one worker
+    count loads into any other (bit-exact continuation needs the same
+    count, since the N > 1 objective depends on the sharding; N = 1 is
+    exactly the single-process math).
+
+    Workers are started lazily on the first step and shut down when
+    ``fit`` returns (or via :meth:`shutdown`), so a trainer that only
+    loads checkpoints never forks.
+    """
+
+    def __init__(self, model: TimingPredictor,
+                 designs: Sequence[DesignData],
+                 config: Optional[TrainConfig] = None,
+                 logger: Optional[RunLogger] = None,
+                 checkpoint_path: Union[str, Path, None] = None,
+                 workers: int = 1) -> None:
+        super().__init__(model, designs, config, logger=logger,
+                         checkpoint_path=checkpoint_path)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        usable = min(len(self.source), len(self.target))
+        if workers > usable:
+            self.logger.log_event(
+                "note",
+                message=f"workers={workers} exceeds the {usable} usable "
+                        f"shard(s); clamping",
+            )
+            workers = usable
+        self.workers = workers
+        src_ranges = slice_ranges(partition_counts(len(self.source),
+                                                   workers))
+        tgt_ranges = slice_ranges(partition_counts(len(self.target),
+                                                   workers))
+        n_src = len(self.source)
+        #: Per shard: global design indices (source block, then target
+        #: block) — contiguous in the global source-then-target order,
+        #: so each worker's local ``_loss_parts`` sees the same layout
+        #: invariants as the single-process step.
+        self._shard_indices: List[List[int]] = [
+            list(range(sa, sb)) + [n_src + t for t in range(ta, tb)]
+            for (sa, sb), (ta, tb) in zip(src_ranges, tgt_ranges)
+        ]
+        self._procs: List[Any] = []
+        self._channels: List[ShardChannel] = []
+        self._weights_shm: Optional[shared_memory.SharedMemory] = None
+        self._weights: Optional[np.ndarray] = None
+        self._started = False
+        #: Ceiling on one shard step; a worker silent past it is
+        #: declared dead (the step itself takes well under a second).
+        self.reply_timeout = 600.0
+
+    def _checkpoint_extra(self) -> Dict[str, object]:
+        """Record the worker count (telemetry only — any count resumes)."""
+        return {"workers": self.workers}
+
+    # -- worker lifecycle ----------------------------------------------
+    def _start_workers(self) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX
+            raise WorkerError(
+                "data-parallel training needs the 'fork' start method "
+                f"(unavailable on this platform: {exc})") from exc
+        cfg = self.config
+        designs = self.source + self.target
+        params = self.optimizer.parameters
+        grad_elems = flat_size(params)
+        self._weights_shm = shared_memory.SharedMemory(
+            create=True, size=max(8, 8 * grad_elems))
+        self._weights = np.frombuffer(self._weights_shm.buf,
+                                      dtype=np.float64, count=grad_elems)
+        readout = self.model.readout
+        for shard in self._shard_indices:
+            channel = ShardChannel(
+                ctx,
+                n_designs=len(shard),
+                batch_endpoints=cfg.batch_endpoints,
+                mc_samples=readout.mc_samples,
+                feature_size=readout.feature_size,
+                ship_prior=cfg.prior_weight > 0.0,
+                grad_elems=grad_elems,
+                weights=self._weights,
+            )
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(self.model, [designs[g] for g in shard],
+                      cfg, self.node_obs_var, channel),
+                daemon=True,
+            )
+            proc.start()
+            channel.as_parent()
+            self._procs.append(proc)
+            self._channels.append(channel)
+        self._started = True
+
+    def shutdown(self) -> None:
+        """Stop the worker fleet and release every shared segment."""
+        if not self._started:
+            return
+        for channel in self._channels:
+            try:
+                channel.cmd_send.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for channel in self._channels:
+            try:
+                channel.cmd_send.close()
+                channel.res_recv.close()
+            except OSError:  # pragma: no cover
+                pass
+            channel.close(unlink=True)
+        self._procs = []
+        self._channels = []
+        self._weights = None
+        if self._weights_shm is not None:
+            try:
+                self._weights_shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            try:
+                self._weights_shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._weights_shm = None
+        self._started = False
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.shutdown()
+        # repro-check: disable=bare-except -- __del__ must never raise; at interpreter teardown any module global may already be gone
+        except Exception:
+            pass
+
+    def _collect(self, k: int) -> _ShardReply:
+        """The next reply from worker ``k``; raises on death/timeout."""
+        channel, proc = self._channels[k], self._procs[k]
+        deadline = time.monotonic() + self.reply_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerError(
+                    f"shard worker {k} gave no reply within "
+                    f"{self.reply_timeout:.0f}s; resume from the last "
+                    f"checkpoint to restart the fleet")
+            try:
+                if channel.res_recv.poll(min(remaining, 0.5)):
+                    reply = channel.res_recv.recv()
+                    break
+            except (EOFError, OSError):
+                raise WorkerError(
+                    f"shard worker {k} (pid {proc.pid}) closed its "
+                    f"result pipe; resume from the last checkpoint to "
+                    f"restart the fleet") from None
+            if not proc.is_alive():
+                raise WorkerError(
+                    f"shard worker {k} (pid {proc.pid}) died with exit "
+                    f"code {proc.exitcode}; resume from the last "
+                    f"checkpoint to restart the fleet")
+        if reply[0] == "err":
+            raise WorkerError(
+                f"shard worker {k} failed:\n{reply[1]}")
+        _, values, mask, seconds, timings = reply
+        return _ShardReply(values=dict(values), mask=tuple(mask),
+                           seconds=float(seconds), timings=timings)
+
+    # -- the data-parallel step ----------------------------------------
+    def step(self, warmup: bool = False) -> Dict[str, float]:
+        """One optimisation step with shard-parallel gradient work.
+
+        Samples subsets and draws MC noise exactly as the
+        single-process step would (same RNG streams, same order),
+        broadcasts the current weights, dispatches each shard its
+        slices, then averages the shard gradients and loss parts
+        weighted by shard endpoint counts and applies the only
+        optimiser step.  With one worker the average is an exact copy,
+        so the whole step is bit-for-bit the single-process step.
+        """
+        start = time.perf_counter()
+        cfg = self.config
+        if not self._started:
+            self._start_workers()
+        subsets = self._sample_subsets()
+        noise = self._noise_inputs(subsets)
+        write_params(self.optimizer.parameters, self._weights)
+        for channel, shard in zip(self._channels, self._shard_indices):
+            shard_subsets = [subsets[g] for g in shard]
+            channel.write_subsets(shard_subsets)
+            for i, g in enumerate(shard):
+                channel.write_noise(i, noise[f"eps_q{g}"],
+                                    noise.get(f"eps_p{g}"))
+            channel.cmd_send.send(
+                ("step", bool(warmup),
+                 tuple(len(s) for s in shard_subsets),
+                 bool(self.profile_ops)))
+        replies = [self._collect(k) for k in range(self.workers)]
+
+        counts = [sum(len(subsets[g]) for g in shard)
+                  for shard in self._shard_indices]
+        total_count = sum(counts)
+        if self.workers == 1:
+            # Exact path: no arithmetic between the worker's gradients
+            # and the optimiser, so workers=1 is bitwise the
+            # single-process step.
+            grads = self._channels[0].grads.copy()
+            values = dict(replies[0].values)
+            mask = list(replies[0].mask)
+        else:
+            grads = np.zeros_like(self._channels[0].grads)
+            values = {key: 0.0 for key in replies[0].values}
+            mask = [False] * len(replies[0].mask)
+            for channel, reply, count in zip(self._channels, replies,
+                                             counts):
+                weight = count / total_count
+                grads += weight * channel.grads
+                for key in values:
+                    values[key] += weight * reply.values[key]
+                mask = [a or b for a, b in zip(mask, reply.mask)]
+        if self.profile_ops:
+            # Satellite of the shard protocol: fold every worker's
+            # per-step timing snapshot into the parent registry *now*
+            # (not at exit), tagged with its shard, so --profile and
+            # report-run see all shards even mid-run.
+            for k, reply in enumerate(replies):
+                if reply.timings:
+                    merge_timings(reply.timings, worker=f"w{k}")
+
+        self.optimizer.load_flat_grads(grads, mask)
+        grad_norm = float(self.optimizer.clip_grad_norm(cfg.grad_clip))
+        self.optimizer.step()
+        shard_seconds = [reply.seconds for reply in replies]
+        return {
+            "total": values["total"],
+            "elbo": values["elbo"],
+            "contrastive": values["contrastive"],
+            "cmd": values["cmd"],
+            "lr": float(self.optimizer.lr),
+            "grad_norm": grad_norm,
+            "grad_norm_clipped": float(min(grad_norm, cfg.grad_clip)),
+            "warmup": bool(warmup),
+            "step_seconds": time.perf_counter() - start,
+            "workers": self.workers,
+            "shard_seconds_max": float(max(shard_seconds)),
+            "shard_seconds_mean": float(np.mean(shard_seconds)),
+        }
+
+    def fit(self, steps: Optional[int] = None) -> List[Dict[str, float]]:
+        """Inherited loop; the worker fleet is torn down on the way out."""
+        try:
+            return super().fit(steps)
+        finally:
+            self.shutdown()

@@ -257,7 +257,12 @@ class OursTrainer:
             swa_sum=self._swa_sum,
             swa_count=self._swa_count,
             history=self.history,
+            extra=self._checkpoint_extra(),
         )
+
+    def _checkpoint_extra(self) -> Dict[str, object]:
+        """Informational metadata for the checkpoint (never binding)."""
+        return {}
 
     def load_checkpoint(self, path: Union[str, Path]
                         ) -> TrainingCheckpoint:
@@ -389,30 +394,35 @@ class OursTrainer:
                 concatenate(parts_un, axis=0),
                 concatenate(parts_ud, axis=0))
 
-    def _step_inputs(self, subsets: List[np.ndarray]) -> Dict[str, np.ndarray]:
-        """Everything that varies between steps, as named plain arrays.
-
-        These are the per-step inputs of the (compiled or eager) loss
-        graph: the merged endpoint rows and stacked layout images of
-        the fused batch, each design's labels, and the pre-drawn
-        reparameterisation noise.  Drawing the noise *here* — in the
-        exact order the historical in-graph sampling consumed the
-        generator (per design: posterior draw, then prior draw when
-        ``prior_weight > 0``) — keeps the run's random stream
-        byte-identical while making the loss a pure function of its
-        inputs, which is what lets a compiled replay reproduce eager
-        execution bit for bit.
-        """
-        cfg = self.config
-        readout = self.model.readout
-        m = readout.feature_size
+    def _batch_inputs(self, subsets: List[np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        """The fused batch's per-step gather results (rows + images)."""
         inputs: Dict[str, np.ndarray] = {}
-        if cfg.fused:
+        if self.config.fused:
             if self._fused_batch is None:
                 self._fused_batch = FusedDesignBatch(self.source + self.target)
             batch = self._fused_batch
             inputs["rows"] = batch.merged_endpoint_rows(subsets)
             inputs["images"] = batch.stacked_path_images(subsets)
+        return inputs
+
+    def _noise_inputs(self, subsets: List[np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        """Per-design labels and pre-drawn reparameterisation noise.
+
+        Drawing the noise *here* — in the exact order the historical
+        in-graph sampling consumed the generator (per design: posterior
+        draw, then prior draw when ``prior_weight > 0``) — keeps the
+        run's random stream byte-identical while making the loss a pure
+        function of its inputs, which is what lets a compiled replay
+        reproduce eager execution bit for bit, and what lets the
+        data-parallel trainer pre-draw every shard's noise in the
+        parent (see :mod:`repro.train.parallel`).
+        """
+        cfg = self.config
+        readout = self.model.readout
+        m = readout.feature_size
+        inputs: Dict[str, np.ndarray] = {}
         for i, (design, subset) in enumerate(zip(self.source + self.target,
                                                  subsets)):
             labels = np.asarray(design.labels[subset], dtype=float)
@@ -420,6 +430,19 @@ class OursTrainer:
             inputs[f"eps_q{i}"] = readout.draw_noise((len(subset), m))
             if cfg.prior_weight > 0.0:
                 inputs[f"eps_p{i}"] = readout.draw_noise((1, m))
+        return inputs
+
+    def _step_inputs(self, subsets: List[np.ndarray]) -> Dict[str, np.ndarray]:
+        """Everything that varies between steps, as named plain arrays.
+
+        These are the per-step inputs of the (compiled or eager) loss
+        graph: the merged endpoint rows and stacked layout images of
+        the fused batch, each design's labels, and the pre-drawn
+        reparameterisation noise (see :meth:`_noise_inputs` for why the
+        noise is drawn outside the graph).
+        """
+        inputs = self._batch_inputs(subsets)
+        inputs.update(self._noise_inputs(subsets))
         return inputs
 
     def _loss_parts(self, warmup: bool, subsets: List[np.ndarray],
@@ -515,17 +538,16 @@ class OursTrainer:
         self._programs[key] = program
         return program
 
-    def _step_compiled(self, warmup: bool, subsets: List[np.ndarray],
-                       inputs: Dict[str, np.ndarray]
-                       ) -> Optional[Tuple[Dict[str, float], float]]:
-        """Run one step through the compiled program, if possible.
+    def _grads_compiled(self, warmup: bool, subsets: List[np.ndarray],
+                        inputs: Dict[str, np.ndarray]
+                        ) -> Optional[Dict[str, float]]:
+        """Populate gradients through the compiled program, if possible.
 
         Returns ``None`` whenever eager execution should handle the
         step instead: compilation disabled/failed, or the per-signature
         retrace budget is exhausted (a guard against pathological
         parameter rebinding re-tracing every step).
         """
-        cfg = self.config
         key = self._program_key(warmup, subsets)
         if self._compile_disabled \
                 or self._retrace_counts.get(key, 0) > self._max_retraces:
@@ -537,7 +559,7 @@ class OursTrainer:
                                                 inputs)
                 if program is None:
                     return None
-            self.optimizer.zero_grad()
+            self.model.zero_grad()
             try:
                 with timed("train.replay"):
                     out = program.replay(inputs,
@@ -553,27 +575,39 @@ class OursTrainer:
                 self.logger.log_event(
                     "note", message=f"compiled step retraced: {exc}")
                 continue
-            grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
-            self.optimizer.step()
-            values = {name: float(np.asarray(value).reshape(()))
-                      for name, value in out.items()}
-            return values, float(grad_norm)
+            return {name: float(np.asarray(value).reshape(()))
+                    for name, value in out.items()}
         return None
 
-    def _step_eager(self, warmup: bool, subsets: List[np.ndarray],
-                    inputs: Dict[str, np.ndarray]
-                    ) -> Tuple[Dict[str, float], float]:
-        """One eager step (graph built and backpropagated per call)."""
+    def _grads_eager(self, warmup: bool, subsets: List[np.ndarray],
+                     inputs: Dict[str, np.ndarray]) -> Dict[str, float]:
+        """Populate gradients eagerly (graph built per call)."""
         total, elbo, clr, cmd = self._loss_parts(warmup, subsets, inputs)
         with timed("train.backward"):
-            self.optimizer.zero_grad()
+            self.model.zero_grad()
             total.backward()
-            grad_norm = self.optimizer.clip_grad_norm(
-                self.config.grad_clip)
-            self.optimizer.step()
-        values = {"total": total.item(), "elbo": elbo.item(),
-                  "contrastive": clr.item(), "cmd": cmd.item()}
-        return values, float(grad_norm)
+        return {"total": total.item(), "elbo": elbo.item(),
+                "contrastive": clr.item(), "cmd": cmd.item()}
+
+    def compute_gradients(self, warmup: bool, subsets: List[np.ndarray],
+                          inputs: Dict[str, np.ndarray]
+                          ) -> Dict[str, float]:
+        """Forward + backward over prepared inputs; no optimiser step.
+
+        Leaves every parameter's ``.grad`` populated with the loss
+        gradients of this batch and returns the scalar loss parts
+        (``total``/``elbo``/``contrastive``/``cmd``).  This is the unit
+        of work a data-parallel shard worker executes: the caller (the
+        single-process :meth:`step`, or the parallel parent after
+        averaging shard gradients) applies clipping and the optimiser
+        update.
+        """
+        values = None
+        if self.config.compile and self.config.fused:
+            values = self._grads_compiled(warmup, subsets, inputs)
+        if values is None:
+            values = self._grads_eager(warmup, subsets, inputs)
+        return values
 
     def step(self, warmup: bool = False) -> Dict[str, float]:
         """One optimisation step over all designs; returns loss parts.
@@ -600,12 +634,9 @@ class OursTrainer:
         cfg = self.config
         subsets = self._sample_subsets()
         inputs = self._step_inputs(subsets)
-        result = None
-        if cfg.compile and cfg.fused:
-            result = self._step_compiled(warmup, subsets, inputs)
-        if result is None:
-            result = self._step_eager(warmup, subsets, inputs)
-        values, grad_norm = result
+        values = self.compute_gradients(warmup, subsets, inputs)
+        grad_norm = float(self.optimizer.clip_grad_norm(cfg.grad_clip))
+        self.optimizer.step()
         return {
             "total": values["total"],
             "elbo": values["elbo"],

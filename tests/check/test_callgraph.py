@@ -199,6 +199,25 @@ class TestWorkerSites:
         assert sites[0].kind == "thread"
         assert sites[0].target_qualname == "pkg.a.work"
 
+    def test_mp_context_process_constructor(self, tmp_path):
+        """`ctx = get_context(...); ctx.Process(target=...)` — the
+        spelling the data-parallel trainer uses — is a process
+        hand-off even though `ctx` is an unresolvable local."""
+        program = _build(tmp_path, {
+            "a.py": ("import multiprocessing\n"
+                     "def work(ch):\n"
+                     "    pass\n"
+                     "def spawn():\n"
+                     "    ctx = multiprocessing.get_context('fork')\n"
+                     "    p = ctx.Process(target=work, args=(1,))\n"
+                     "    p.start()\n"),
+        })
+        sites = program.worker_sites()
+        assert len(sites) == 1
+        assert sites[0].kind == "process"
+        assert sites[0].target_qualname == "pkg.a.work"
+        assert "pkg.a.work" in program.worker_reachable()
+
     def test_no_false_sites_in_plain_code(self, tmp_path):
         program = _build(tmp_path, {
             "a.py": ("def f(xs):\n"
@@ -207,15 +226,15 @@ class TestWorkerSites:
         assert program.worker_sites() == []
 
     def test_real_package_worker_site(self):
-        # The repo itself has exactly one process hand-off today:
-        # the flow cache's parallel cold-build fan-out.
+        # The repo's process hand-offs: the flow cache's parallel
+        # cold-build fan-out and the data-parallel shard fleet.
         import repro
 
         program = Program.build(Path(repro.__file__).parent, "repro")
-        process_sites = [s for s in program.worker_sites()
-                         if s.kind == "process"]
-        assert any(s.target_qualname == "repro.flow.cache._flow_worker"
-                   for s in process_sites)
+        targets = {s.target_qualname for s in program.worker_sites()
+                   if s.kind == "process"}
+        assert "repro.flow.cache._flow_worker" in targets
+        assert "repro.train.worker.shard_worker_main" in targets
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,333 @@
+"""Data-parallel trainer: sharding, lockstep exactness, kill/resume.
+
+The contract under test (DESIGN.md §14): the parent draws every RNG
+stream in global order and workers are pure functions of
+(weights, subsets, noise), so a ``workers=1`` run is *bit-for-bit* the
+single-process run, checkpoints capture only parent state (any worker
+count resumes any checkpoint), and an interrupted parallel run resumed
+at a different worker count reproduces the uninterrupted loss stream
+exactly.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.features import GateVocabulary, normalize_features
+from repro.flow import run_flow
+from repro.model import TimingPredictor
+from repro.nn.flat import (flat_size, read_grads, read_params,
+                           write_grads, write_params)
+from repro.techlib import make_asap7_library, make_sky130_library
+from repro.train import (
+    OursTrainer,
+    ParallelTrainer,
+    TrainConfig,
+    load_checkpoint,
+    partition_counts,
+    resolve_worker_count,
+    slice_ranges,
+)
+
+BASE = TrainConfig(steps=6, lr=3e-3, batch_endpoints=24, seed=0,
+                   gamma1=1.0, gamma2=30.0, holdout_fraction=0.0)
+
+#: Parallel-execution telemetry and wall-clock noise — excluded when
+#: comparing loss streams across worker counts.
+_NON_LOSS = ("step_seconds", "workers", "shard_seconds_max",
+             "shard_seconds_mean")
+
+
+@pytest.fixture(scope="module")
+def designs():
+    """Two source + two target designs, so two shards are possible."""
+    libraries = {"130nm": make_sky130_library(),
+                 "7nm": make_asap7_library()}
+    vocab = GateVocabulary(list(libraries.values()))
+    out = [
+        run_flow("usbf_device", "7nm", libraries, vocab=vocab,
+                 resolution=16),
+        run_flow("chacha", "7nm", libraries, vocab=vocab,
+                 resolution=16),
+        run_flow("spiMaster", "130nm", libraries, vocab=vocab,
+                 resolution=16),
+        run_flow("linkruncca", "130nm", libraries, vocab=vocab,
+                 resolution=16),
+    ]
+    normalize_features([d.graph for d in out])
+    return out
+
+
+@pytest.fixture(scope="module")
+def in_features(designs):
+    return designs[0].graph.features.shape[1]
+
+
+def _make(cls, designs, in_features, *, config=None, **kwargs):
+    config = config or BASE
+    model = TimingPredictor(in_features, seed=config.seed)
+    return cls(model, designs, config, **kwargs)
+
+
+def _loss_keys(history):
+    return [{k: v for k, v in record.items() if k not in _NON_LOSS}
+            for record in history]
+
+
+def _weights_equal(a, b):
+    state_a, state_b = a.state_dict(), b.state_dict()
+    assert state_a.keys() == state_b.keys()
+    return all(np.array_equal(state_a[k], state_b[k]) for k in state_a)
+
+
+class TestPartitioning:
+    def test_even_and_uneven_counts(self):
+        assert partition_counts(10, 2) == [5, 5]
+        assert partition_counts(10, 3) == [4, 3, 3]
+        assert partition_counts(7, 4) == [2, 2, 2, 1]
+
+    def test_one_design(self):
+        assert partition_counts(1, 1) == [1]
+
+    def test_fewer_designs_than_workers(self):
+        counts = partition_counts(2, 4)
+        assert counts == [1, 1, 0, 0]
+        assert sum(counts) == 2
+
+    def test_empty_list(self):
+        assert partition_counts(0, 3) == [0, 0, 0]
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            partition_counts(4, 0)
+        with pytest.raises(ValueError):
+            partition_counts(-1, 2)
+
+    def test_matches_array_split(self):
+        for total in range(9):
+            for parts in range(1, 5):
+                counts = partition_counts(total, parts)
+                expected = [len(c) for c in
+                            np.array_split(np.arange(total), parts)]
+                assert counts == expected
+
+    def test_slice_ranges_over_partition(self):
+        counts = partition_counts(7, 3)
+        ranges = slice_ranges(counts)
+        assert ranges == [(0, 3), (3, 5), (5, 7)]
+        # Contiguous, ordered, complete cover.
+        assert ranges[0][0] == 0 and ranges[-1][1] == 7
+        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+
+
+class TestResolveWorkerCount:
+    def test_rejects_below_one(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                resolve_worker_count(bad, n_source=2, n_target=2)
+
+    def test_passthrough_when_feasible(self):
+        count, notes = resolve_worker_count(2, n_source=4, n_target=4,
+                                            cpu_count=8)
+        assert count == 2 and notes == []
+
+    def test_clamps_to_cpu_count(self):
+        count, notes = resolve_worker_count(8, n_source=8, n_target=8,
+                                            cpu_count=2)
+        assert count == 2
+        assert any("CPU" in note for note in notes)
+
+    def test_clamps_to_usable_shards(self):
+        count, notes = resolve_worker_count(4, n_source=2, n_target=3,
+                                            cpu_count=16)
+        assert count == 2
+        assert any("usable" in note for note in notes)
+
+
+class TestFlatTransport:
+    def test_param_round_trip_preserves_identity(self, in_features):
+        model = TimingPredictor(in_features, seed=0)
+        params = model.parameters()
+        flat = np.empty(flat_size(params))
+        write_params(params, flat)
+        before = [p.data for p in params]
+        read_params(params, flat)
+        assert all(p.data is arr for p, arr in zip(params, before))
+        flat2 = np.empty_like(flat)
+        write_params(params, flat2)
+        assert np.array_equal(flat, flat2)
+
+    def test_grad_round_trip_restores_none_structure(self, in_features):
+        model = TimingPredictor(in_features, seed=0)
+        params = model.parameters()
+        rng = np.random.default_rng(1)
+        for i, p in enumerate(params):
+            p.grad = None if i % 3 == 0 \
+                else rng.normal(size=p.data.shape)
+        originals = [None if p.grad is None else p.grad.copy()
+                     for p in params]
+        flat = np.empty(flat_size(params))
+        mask = write_grads(params, flat)
+        assert mask == [p is not None for p in originals]
+        read_grads(params, flat, mask)
+        for p, orig in zip(params, originals):
+            if orig is None:
+                assert p.grad is None
+            else:
+                assert np.array_equal(p.grad, orig)
+
+    def test_length_mismatch_rejected(self, in_features):
+        model = TimingPredictor(in_features, seed=0)
+        params = model.parameters()
+        with pytest.raises(ValueError):
+            write_params(params, np.empty(3))
+
+
+class TestConstruction:
+    def test_rejects_zero_workers(self, designs, in_features):
+        with pytest.raises(ValueError):
+            _make(ParallelTrainer, designs, in_features, workers=0)
+
+    def test_clamps_to_usable_shards(self, designs, in_features):
+        trainer = _make(ParallelTrainer, designs, in_features, workers=5)
+        assert trainer.workers == 2  # min(2 source, 2 target)
+
+    def test_shards_cover_all_designs_contiguously(self, designs,
+                                                   in_features):
+        trainer = _make(ParallelTrainer, designs, in_features, workers=2)
+        flat = [g for shard in trainer._shard_indices for g in shard]
+        assert sorted(flat) == list(range(len(designs)))
+        for shard in trainer._shard_indices:
+            assert shard  # no idle worker after clamping
+
+
+class TestLockstep:
+    def test_one_worker_is_bitwise_single_process(self, designs,
+                                                  in_features):
+        single = _make(OursTrainer, designs, in_features)
+        parallel = _make(ParallelTrainer, designs, in_features, workers=1)
+        try:
+            h_single = [single.step(warmup=t < 2) for t in range(4)]
+            h_parallel = [parallel.step(warmup=t < 2) for t in range(4)]
+        finally:
+            parallel.shutdown()
+        assert _loss_keys(h_parallel) == _loss_keys(h_single)
+        assert _weights_equal(parallel.model, single.model)
+
+    def test_two_workers_run_and_report(self, designs, in_features):
+        trainer = _make(ParallelTrainer, designs, in_features, workers=2)
+        try:
+            records = [trainer.step(warmup=t < 1) for t in range(2)]
+        finally:
+            trainer.shutdown()
+        for record in records:
+            assert record["workers"] == 2
+            assert np.isfinite(record["total"])
+            assert record["shard_seconds_max"] >= \
+                record["shard_seconds_mean"] > 0.0
+
+    def test_rng_streams_match_across_worker_counts(self, designs,
+                                                    in_features):
+        """Subsets and noise are parent-drawn in global order: the
+        streams consumed must be identical for any worker count."""
+        w1 = _make(ParallelTrainer, designs, in_features, workers=1)
+        w2 = _make(ParallelTrainer, designs, in_features, workers=2)
+        subs1, subs2 = w1._sample_subsets(), w2._sample_subsets()
+        assert all(np.array_equal(a, b) for a, b in zip(subs1, subs2))
+        n1, n2 = w1._noise_inputs(subs1), w2._noise_inputs(subs2)
+        assert n1.keys() == n2.keys()
+        assert all(np.array_equal(n1[k], n2[k]) for k in n1)
+
+
+class TestCheckpointing:
+    def test_checkpoint_records_worker_count(self, designs, in_features,
+                                             tmp_path):
+        trainer = _make(ParallelTrainer, designs, in_features, workers=2)
+        path = tmp_path / "ckpt.npz"
+        try:
+            trainer.step(warmup=True)
+            trainer.save_checkpoint(step=1, path=path)
+        finally:
+            trainer.shutdown()
+        ckpt = load_checkpoint(path)
+        assert ckpt.extra == {"workers": 2}
+
+    def test_single_process_checkpoint_has_empty_extra(self, designs,
+                                                       in_features,
+                                                       tmp_path):
+        trainer = _make(OursTrainer, designs, in_features)
+        path = tmp_path / "ckpt.npz"
+        trainer.step(warmup=True)
+        trainer.save_checkpoint(step=1, path=path)
+        assert load_checkpoint(path).extra == {}
+
+    def test_kill_and_resume_reproduces_loss_stream(self, designs,
+                                                    in_features,
+                                                    tmp_path):
+        """SIGTERM-style stop mid-fit, then resume at the same worker
+        count: the full stream and the final weights must be bit-for-bit
+        the uninterrupted run's.  (Resuming at a different count is
+        accepted too, but for N > 1 the sharded objective depends on N,
+        so only the RNG streams — not the numbers — carry over.)"""
+        config = replace(BASE, steps=5)
+        reference = _make(ParallelTrainer, designs, in_features,
+                          config=config, workers=2)
+        h_ref = reference.fit()
+
+        ckpt = tmp_path / "interrupted.npz"
+        interrupted = _make(ParallelTrainer, designs, in_features,
+                            config=config, workers=2,
+                            checkpoint_path=ckpt)
+        inner_step = interrupted.step
+        done = {"n": 0}
+
+        def stepper(warmup=False):
+            record = inner_step(warmup)
+            done["n"] += 1
+            if done["n"] == 2:  # the graceful-stop path SIGTERM takes
+                interrupted.request_stop()
+            return record
+
+        interrupted.step = stepper
+        head = interrupted.fit()
+        assert interrupted.interrupted and len(head) == 2
+        assert ckpt.is_file()
+
+        resumed = _make(ParallelTrainer, designs, in_features,
+                        config=config, workers=2, checkpoint_path=ckpt)
+        resumed.load_checkpoint(ckpt)
+        # fit() returns the restored head plus the newly run tail.
+        full = resumed.fit()
+        assert _loss_keys(full[:2]) == _loss_keys(head)
+        assert _loss_keys(full) == _loss_keys(h_ref)
+        assert _weights_equal(resumed.model, reference.model)
+
+    def test_cross_count_resume_is_accepted(self, designs, in_features,
+                                            tmp_path):
+        """A checkpoint does not bind the worker count: a parallel
+        checkpoint loads into any fleet size (here 2 -> 1) and training
+        continues — the N = 1 continuation is exactly the
+        single-process continuation."""
+        config = replace(BASE, steps=4)
+        ckpt = tmp_path / "w2.npz"
+        origin = _make(ParallelTrainer, designs, in_features,
+                       config=config, workers=2, checkpoint_path=ckpt)
+        try:
+            origin.step(warmup=True)
+            origin.step(warmup=True)
+            origin.save_checkpoint(step=2)
+        finally:
+            origin.shutdown()
+
+        single = _make(OursTrainer, designs, in_features, config=config)
+        single.load_checkpoint(ckpt)
+        parallel = _make(ParallelTrainer, designs, in_features,
+                         config=config, workers=1)
+        parallel.load_checkpoint(ckpt)
+        try:
+            rec_s = single.step()
+            rec_p = parallel.step()
+        finally:
+            parallel.shutdown()
+        assert _loss_keys([rec_p]) == _loss_keys([rec_s])
