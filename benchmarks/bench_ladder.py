@@ -1,0 +1,56 @@
+"""Benchmark for the K-node ladder transfer study.
+
+Trains the K-source -> 1-target model on a 3-node ladder
+(130 -> 45 -> 7 nm) with leave-one-node-out retrains, and records the
+rendered study table.  ``REPRO_BENCH_SMOKE=1`` shrinks the dataset
+resolution and skips leave-one-out so the bench finishes in seconds.
+
+Not part of the regression gate: ladder scores have no recorded
+baseline yet — the assertions only pin sanity (finite, and the joint
+K-source model beats a constant predictor on average).
+"""
+
+import os
+
+import numpy as np
+
+from repro.experiments import format_ladder_study, run_ladder_study
+from repro.techlib import NodeLadder
+
+from .conftest import (
+    bench_seed,
+    bench_steps,
+    bench_use_cache,
+    bench_workers,
+    record,
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def test_ladder_study(benchmark, results_dir):
+    smoke = _smoke()
+    ladder = NodeLadder(node_nms=(130.0, 45.0, 7.0))
+    results = benchmark.pedantic(
+        run_ladder_study,
+        kwargs={
+            "ladder": ladder,
+            "steps": 8 if smoke else bench_steps(),
+            "seed": bench_seed(),
+            "resolution": 16 if smoke else None,
+            "workers": bench_workers(),
+            "use_cache": bench_use_cache(),
+            "include_loo": not smoke,
+        },
+        rounds=1, iterations=1,
+    )
+    record(results_dir, "ladder_study", format_ladder_study(results))
+    assert results["nodes"] == ["130nm", "45nm", "7nm"]
+    scores = [v for k, v in results["main"].items() if k != "average"]
+    assert all(np.isfinite(v) for v in scores)
+    if not smoke:
+        assert results["main"]["average"] > 0.0
+        for loo in results["leave_one_out"].values():
+            assert np.isfinite(loo["average"])

@@ -40,7 +40,8 @@ from ..util import legacy_mode
 from .rules import Finding
 
 #: Ops audited in addition to the ``repro.nn.functional`` surface.
-REQUIRED_EXTRA_OPS: Tuple[str, ...] = ("levelized_sweep",)
+REQUIRED_EXTRA_OPS: Tuple[str, ...] = (
+    "levelized_sweep", "node_contrastive_loss_multi", "cmd_loss_multi")
 
 Builder = Callable[[], Tuple[Callable[..., Tensor], Dict[str, np.ndarray]]]
 
@@ -519,5 +520,75 @@ def _levelized_sweep_case():
     def fn(s, w_net, w_cell):
         return levelized_sweep(s, w_net, w_cell, plan, graph.levels[0],
                                graph.features.shape[0])
+
+    return fn, inputs
+
+
+@case("node_contrastive_loss_multi", "three-node-chain", atol=1e-4)
+def _contrastive_multi_case():
+    from ..model.losses import node_contrastive_loss_multi
+
+    rng = np.random.default_rng(7)
+    inputs = {
+        "g0": rng.standard_normal((3, 5)),
+        "g1": rng.standard_normal((4, 5)),
+        "g2": rng.standard_normal((2, 5)),
+    }
+
+    def fn(g0, g1, g2):
+        return node_contrastive_loss_multi((g0, g1, g2),
+                                           temperature=0.7)
+
+    return fn, inputs
+
+
+@case("node_contrastive_loss_multi", "two-node-pair-form", atol=1e-4)
+def _contrastive_pair_case():
+    from ..model.losses import node_contrastive_loss
+
+    rng = np.random.default_rng(11)
+    inputs = {
+        "u_source": rng.standard_normal((4, 6)),
+        "u_target": rng.standard_normal((3, 6)),
+    }
+
+    def fn(u_source, u_target):
+        return node_contrastive_loss(u_source, u_target,
+                                     temperature=0.5)
+
+    return fn, inputs
+
+
+@case("cmd_loss_multi", "vs-target-three-nodes")
+def _cmd_multi_vs_target_case():
+    from ..model.losses import cmd_loss_multi
+
+    rng = np.random.default_rng(8)
+    inputs = {
+        "g0": np.tanh(rng.standard_normal((4, 3))) * 0.9,
+        "g1": np.tanh(rng.standard_normal((3, 3))) * 0.9,
+        "g2": np.tanh(rng.standard_normal((5, 3))) * 0.9,
+    }
+
+    def fn(g0, g1, g2):
+        return cmd_loss_multi((g0, g1, g2), max_order=3)
+
+    return fn, inputs
+
+
+@case("cmd_loss_multi", "pairwise-three-nodes")
+def _cmd_multi_pairwise_case():
+    from ..model.losses import cmd_loss_multi
+
+    rng = np.random.default_rng(9)
+    inputs = {
+        "g0": np.tanh(rng.standard_normal((3, 4))) * 0.9,
+        "g1": np.tanh(rng.standard_normal((4, 4))) * 0.9,
+        "g2": np.tanh(rng.standard_normal((2, 4))) * 0.9,
+    }
+
+    def fn(g0, g1, g2):
+        return cmd_loss_multi((g0, g1, g2), max_order=3,
+                              mode="pairwise")
 
     return fn, inputs

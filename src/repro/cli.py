@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli report DESIGN NODE     # design/timing/power report
     python -m repro.cli libs                   # library summaries
     python -m repro.cli train [--steps N]      # train ours, report test R^2
+    python -m repro.cli ladder [--nodes ...]   # K-node transfer study
     python -m repro.cli predict DESIGN...      # serve predictions (fast path)
     python -m repro.cli serve [--port N]       # resident prediction server
     python -m repro.cli report-run RUNDIR      # render a run's telemetry
@@ -36,6 +37,26 @@ def _libraries():
     from .experiments import make_libraries
 
     return make_libraries()
+
+
+def _parse_node_token(token: str) -> float:
+    """CLI node token -> feature size in nm.
+
+    Accepts anchor names (``sky130``, ``asap7``), labels (``130nm``,
+    ``45p2nm``) and bare sizes (``130``, ``45.2``).
+    """
+    aliases = {"sky130": 130.0, "asap7": 7.0}
+    text = token.strip().lower()
+    if text in aliases:
+        return aliases[text]
+    if text.endswith("nm"):
+        text = text[:-2]
+    try:
+        return float(text.replace("p", "."))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a technology node: {token!r} (use sky130/asap7, a "
+            "label like 45nm, or a size in nm)") from None
 
 
 def cmd_libs(args) -> int:
@@ -165,10 +186,11 @@ def _install_stop_handlers(trainer, state):
 def cmd_train(args) -> int:
     import signal
 
-    from .experiments import build_dataset
+    from .experiments import build_dataset, build_ladder_dataset
     from .experiments.datasets import DATASET_SCALE
     from .model import TimingPredictor
     from .obs import RunLogger, default_run_dir
+    from .techlib import NodeLadder, label_to_nm, node_label
     from .train import (
         CHECKPOINT_NAME,
         OursTrainer,
@@ -193,22 +215,44 @@ def cmd_train(args) -> int:
         run_dir = Path(args.resume)
         checkpoint = load_checkpoint(run_dir / CHECKPOINT_NAME)
         config = TrainConfig(**checkpoint.config)
+        # A ladder run's node chain lives in the config; rebuild the
+        # same libraries from the labels.
+        ladder = NodeLadder([label_to_nm(lbl) for lbl in config.nodes]) \
+            if config.nodes is not None else None
         print(f"resuming {run_dir} from checkpoint at step "
               f"{checkpoint.step}/{config.steps}")
     else:
         run_dir = Path(args.run_dir) if args.run_dir \
             else default_run_dir(tag=args.tag)
+        ladder = None
+        nodes = None
+        target_node = "7nm"
+        if args.nodes:
+            ladder = NodeLadder([_parse_node_token(t)
+                                 for t in args.nodes])
+            nodes = ladder.node_labels
+            target_node = ladder.target_label if args.target_node is None \
+                else node_label(_parse_node_token(args.target_node))
+        elif args.target_node is not None:
+            raise SystemExit("--target-node requires --nodes")
         config = TrainConfig(steps=args.steps, seed=args.seed,
                              fused=not args.no_fused,
                              compile=not args.no_compile,
                              dtype=args.dtype,
-                             checkpoint_every=args.checkpoint_every)
+                             checkpoint_every=args.checkpoint_every,
+                             nodes=nodes, target_node=target_node)
     with RunLogger(run_dir, resume=checkpoint is not None,
                    resume_step=None if checkpoint is None
                    else checkpoint.step) as logger:
-        dataset = build_dataset(workers=args.build_workers,
-                                use_cache=not args.no_cache,
-                                cache_dir=args.cache_dir)
+        if ladder is not None:
+            dataset = build_ladder_dataset(
+                ladder, target_label=config.target_node,
+                workers=args.build_workers,
+                use_cache=not args.no_cache, cache_dir=args.cache_dir)
+        else:
+            dataset = build_dataset(workers=args.build_workers,
+                                    use_cache=not args.no_cache,
+                                    cache_dir=args.cache_dir)
         # Training parallelism is an execution choice, not part of the
         # training config: any --workers value resumes any checkpoint
         # (the parent owns every RNG draw and the optimizer state), so
@@ -216,22 +260,28 @@ def cmd_train(args) -> int:
         # continuation of a parallel run needs the original count.
         workers = args.workers
         if workers is not None:
-            source, target = split_by_node(dataset.train)
+            source, target = split_by_node(dataset.train,
+                                           target_node=config.target_node)
             workers, notes = resolve_worker_count(
                 workers, n_source=len(source), n_target=len(target))
             for note in notes:
                 print(f"warning: {note}")
         if checkpoint is None:
+            extra = {"dataset": {"scale": DATASET_SCALE["scale"],
+                                 "resolution":
+                                     DATASET_SCALE["resolution"],
+                                 "workers": args.build_workers,
+                                 "use_cache": not args.no_cache},
+                     "parallel": {"workers": workers}}
+            if ladder is not None:
+                extra["ladder"] = {"spec": ladder.spec,
+                                   "target_node": config.target_node,
+                                   "nodes": ladder.describe()}
             logger.log_manifest(
                 config=config,
                 seeds={"model": args.seed, "train": config.seed,
                        "data": DATASET_SCALE["seed"]},
-                extra={"dataset": {"scale": DATASET_SCALE["scale"],
-                                   "resolution":
-                                       DATASET_SCALE["resolution"],
-                                   "workers": args.build_workers,
-                                   "use_cache": not args.no_cache},
-                       "parallel": {"workers": workers}},
+                extra=extra,
             )
         else:
             logger.annotate_manifest(interrupted=False,
@@ -291,6 +341,22 @@ def cmd_train(args) -> int:
             per_design[design.name] = {"r2": float(r2)}
             print(f"  {design.name:>10}: R^2 = {r2:.3f}")
         print(f"  {'average':>10}: R^2 = {np.mean(scores):.3f}")
+        summary_fields = {}
+        if ladder is not None:
+            per_node = {}
+            for record in ladder.describe():
+                label = record["label"]
+                per_node[label] = {
+                    **record,
+                    "role": "target" if label == config.target_node
+                    else "source",
+                    "num_train_designs": sum(
+                        1 for d in dataset.train if d.node == label),
+                }
+            per_node[config.target_node]["test_mean_r2"] = \
+                float(np.mean(scores))
+            logger.annotate_manifest(per_node=per_node)
+            summary_fields["per_node"] = per_node
         logger.log_summary(
             steps=len(history),
             total_seconds=float(step_seconds.sum()),
@@ -298,6 +364,7 @@ def cmd_train(args) -> int:
             per_design=per_design,
             final_weights=trainer.final_weights_source,
             timings=get_timings(),
+            **summary_fields,
         )
         if checkpoint is not None:
             logger.annotate_manifest(interrupted=False)
@@ -416,6 +483,36 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_ladder(args) -> int:
+    from .experiments import format_ladder_study, run_ladder_study
+    from .obs import RunLogger, default_run_dir
+    from .techlib import NodeLadder
+    from .util import reset_timings
+
+    reset_timings()
+    ladder = NodeLadder([_parse_node_token(t) for t in args.nodes],
+                        perturb_gate_mix=args.perturb_gate_mix,
+                        seed=args.lib_seed)
+    run_dir = Path(args.run_dir) if args.run_dir \
+        else default_run_dir(tag="ladder")
+    print(f"ladder study over {ladder!r} "
+          f"(target {ladder.target_label}) ...")
+    with RunLogger(run_dir) as logger:
+        logger.log_manifest(
+            config=None, seeds={"train": args.seed},
+            extra={"ladder": {"spec": ladder.spec,
+                              "nodes": ladder.describe()}})
+        results = run_ladder_study(
+            ladder=ladder, steps=args.steps, seed=args.seed,
+            resolution=args.resolution, workers=args.build_workers,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+            include_loo=not args.no_loo,
+            include_reverse=args.reverse, logger=logger)
+    print(format_ladder_study(results))
+    print(f"run telemetry written to {run_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__)
@@ -452,6 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train the paper's model")
     p.add_argument("--steps", type=int, default=150)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nodes", nargs="+", default=None, metavar="NODE",
+                   help="technology nodes to train across: anchors by "
+                        "name or size (sky130/130/130nm, asap7/7/7nm) "
+                        "plus interpolated sizes strictly between 7 and "
+                        "130, e.g. `--nodes 130 45 7`.  Default: the "
+                        "paper's two-node setting; `--nodes sky130 "
+                        "asap7` is bit-identical to it")
+    p.add_argument("--target-node", default=None, metavar="NODE",
+                   help="transfer target node (default: the smallest "
+                        "of --nodes); requires --nodes")
     p.add_argument("--workers", type=_positive_int, default=None,
                    metavar="N",
                    help="data-parallel training worker processes: the "
@@ -573,6 +680,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes for cold dataset builds")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk design cache")
+
+    p = sub.add_parser("ladder",
+                       help="K-node transfer study over a synthetic "
+                            "node ladder")
+    p.add_argument("--nodes", nargs="+", default=["130", "45", "7"],
+                   metavar="NODE",
+                   help="chain of nodes, anchors by name/size plus "
+                        "interpolated sizes (default: 130 45 7)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="training steps per run (default: the paper "
+                        "config's)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--resolution", type=int, default=None,
+                   help="layout image resolution override")
+    p.add_argument("--perturb-gate-mix", action="store_true",
+                   help="give interpolated nodes a seeded, genuinely "
+                        "different gate mix")
+    p.add_argument("--lib-seed", type=int, default=0,
+                   help="seed of the gate-mix perturbation")
+    p.add_argument("--no-loo", action="store_true",
+                   help="skip the leave-one-node-out retrains")
+    p.add_argument("--reverse", action="store_true",
+                   help="also run reverse transfer (target at the "
+                        "largest node)")
+    p.add_argument("--build-workers", type=_positive_int, default=1,
+                   metavar="N",
+                   help="processes for cold dataset builds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk design cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="design cache root (default $REPRO_CACHE_DIR)")
+    p.add_argument("--run-dir", default=None,
+                   help="telemetry directory for this study "
+                        "(default runs/<timestamp>-ladder/)")
     return parser
 
 
@@ -585,6 +726,7 @@ COMMANDS = {
     "sta": cmd_sta,
     "export": cmd_export,
     "train": cmd_train,
+    "ladder": cmd_ladder,
     "predict": cmd_predict,
     "serve": cmd_serve,
     "experiments": cmd_experiments,

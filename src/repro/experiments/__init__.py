@@ -3,7 +3,10 @@
 from .datasets import (
     DATASET_SCALE,
     ExperimentDataset,
+    LadderDataset,
     build_dataset,
+    build_ladder_dataset,
+    ladder_split,
     make_libraries,
 )
 from .extensions import (
@@ -13,6 +16,7 @@ from .extensions import (
     run_uncertainty_calibration,
 )
 from .fig1 import format_fig1, run_fig1
+from .ladder import format_ladder_study, run_ladder_study
 from .fig6 import format_fig6, run_fig6, scale_gap
 from .fig8 import format_fig8, run_fig8
 from .table1 import format_table1, run_table1
@@ -28,11 +32,15 @@ from .table3 import SUBSETS, format_table3, run_table3
 __all__ = [
     "DATASET_SCALE",
     "ExperimentDataset",
+    "LadderDataset",
     "SUBSETS",
     "Table2Row",
     "build_dataset",
+    "build_ladder_dataset",
     "format_calibration",
     "format_fig1",
+    "format_ladder_study",
+    "ladder_split",
     "format_fig6",
     "format_fig8",
     "format_table1",
@@ -41,6 +49,7 @@ __all__ = [
     "format_table3",
     "make_libraries",
     "run_fig1",
+    "run_ladder_study",
     "run_reverse_transfer",
     "run_uncertainty_calibration",
     "run_fig6",

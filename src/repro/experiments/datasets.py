@@ -15,14 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..features import apply_normalization, normalize_features
 from ..flow import DesignData, build_designs
 from ..netlist import TEST_SPLIT, TRAIN_SPLIT
-from ..techlib import make_asap7_library, make_sky130_library
+from ..techlib import NodeLadder, make_asap7_library, make_sky130_library
 
 #: Default experiment scale knobs (see DESIGN.md section 5).
 DATASET_SCALE = {
@@ -100,4 +100,98 @@ def build_dataset(scale: float = None, resolution: int = None,
         test=test,
         in_features=train[0].graph.features.shape[1],
         norm_params=params,
+    )
+
+
+@dataclass
+class LadderDataset(ExperimentDataset):
+    """A K-node dataset built against a :class:`NodeLadder`'s chain."""
+
+    ladder: Optional[NodeLadder] = None
+    target_label: str = "7nm"
+
+    @property
+    def node_labels(self) -> List[str]:
+        return self.ladder.node_labels
+
+    @property
+    def train_source(self) -> List[DesignData]:
+        return [d for d in self.train if d.node != self.target_label]
+
+    @property
+    def train_target(self) -> List[DesignData]:
+        return [d for d in self.train if d.node == self.target_label]
+
+    def by_node(self, label: str) -> List[DesignData]:
+        return [d for d in self.train if d.node == label]
+
+
+def ladder_split(ladder: NodeLadder,
+                 target_label: Optional[str] = None
+                 ) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+    """Map the paper's split onto a ladder's nodes.
+
+    Target-role designs (TRAIN_SPLIT's 7nm entries and every test
+    design) go to ``target_label`` — by default the ladder's smallest
+    node; pass a large node for reverse transfer.  Source-role designs
+    round-robin across the remaining nodes in chain order, so every
+    source node contributes data.  On the two-anchor ladder this
+    reproduces :func:`build_dataset`'s split exactly.
+    """
+    target = ladder.target_label if target_label is None else target_label
+    if target not in ladder.node_labels:
+        raise ValueError(
+            f"target {target!r} is not one of the ladder's nodes "
+            f"{ladder.node_labels}")
+    sources = [label for label in ladder.node_labels if label != target]
+    train: List[Tuple[str, str]] = []
+    i = 0
+    for name, role in TRAIN_SPLIT.items():
+        if role == "7nm":
+            train.append((name, target))
+        else:
+            train.append((name, sources[i % len(sources)]))
+            i += 1
+    test = [(name, target) for name in TEST_SPLIT]
+    return train, test
+
+
+def build_ladder_dataset(ladder: Optional[NodeLadder] = None,
+                         target_label: Optional[str] = None,
+                         scale: float = None, resolution: int = None,
+                         seed: int = None, use_cache: bool = True,
+                         workers: int = 1,
+                         cache_dir: Union[str, Path, None] = None
+                         ) -> LadderDataset:
+    """Build the Table-1 split against a K-node ladder.
+
+    With the default two-anchor ladder this produces byte-identical
+    designs to :func:`build_dataset` (the anchors are the real
+    libraries, so even the flow cache entries are shared).
+    """
+    ladder = ladder if ladder is not None \
+        else NodeLadder(node_nms=(130.0, 7.0))
+    scale = DATASET_SCALE["scale"] if scale is None else scale
+    resolution = DATASET_SCALE["resolution"] if resolution is None \
+        else resolution
+    seed = DATASET_SCALE["seed"] if seed is None else seed
+
+    train_names, test_names = ladder_split(ladder, target_label)
+    designs = build_designs(train_names + test_names, scale=scale,
+                            resolution=resolution, seed=seed,
+                            workers=workers, use_cache=use_cache,
+                            cache_dir=cache_dir, ladder=ladder)
+    train = designs[: len(train_names)]
+    test = designs[len(train_names):]
+    params = normalize_features([d.graph for d in train])
+    for d in test:
+        apply_normalization(d.graph, params)
+    return LadderDataset(
+        train=train,
+        test=test,
+        in_features=train[0].graph.features.shape[1],
+        norm_params=params,
+        ladder=ladder,
+        target_label=target_label if target_label is not None
+        else ladder.target_label,
     )

@@ -1,0 +1,172 @@
+"""K-node transfer studies over a :class:`~repro.techlib.NodeLadder`.
+
+The paper evaluates exactly one transfer (130nm -> 7nm); this harness
+generalizes the experiment to a chain of K nodes:
+
+- **K-source -> 1-target**: train on every source node of the ladder
+  jointly, evaluate on the target node's held-out designs.
+- **Leave-one-node-out**: retrain with each source node removed and
+  measure how much the target R^2 moves — the marginal value of each
+  node's data.
+- **Reverse transfer**: flip the roles (target at the large end of the
+  chain) and check the alignment still transfers downhill-to-uphill.
+
+Per-node metrics land in the run manifest (``per_node``) and summary
+via the supplied :class:`~repro.obs.RunLogger`, so ``repro.cli
+report-run`` and the CI schema validator see them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..model import TimingPredictor
+from ..obs import NullRunLogger
+from ..techlib import DEFAULT_LADDER_NMS, NodeLadder
+from ..train import OursTrainer, TrainConfig, r2_score
+from .datasets import LadderDataset, build_ladder_dataset
+from .table2 import OURS_CONFIG
+
+__all__ = ["format_ladder_study", "run_ladder_study"]
+
+
+def _train_and_score(dataset: LadderDataset, nodes: List[str],
+                     target: str, seed: int,
+                     config_kwargs: Dict[str, object]
+                     ) -> Dict[str, float]:
+    """Train on the given node subset, return per-test-design R^2."""
+    keep = set(nodes)
+    train = [d for d in dataset.train if d.node in keep]
+    model = TimingPredictor(dataset.in_features, seed=seed)
+    config = TrainConfig(seed=seed, nodes=list(nodes),
+                         target_node=target, **config_kwargs)
+    OursTrainer(model, train, config).fit()
+    results = {d.name: float(r2_score(d.labels, model.predict(d)))
+               for d in dataset.test}
+    results["average"] = float(np.mean(list(results.values())))
+    return results
+
+
+def run_ladder_study(ladder: Optional[NodeLadder] = None,
+                     dataset: Optional[LadderDataset] = None,
+                     steps: Optional[int] = None, seed: int = 0,
+                     resolution: Optional[int] = None,
+                     workers: int = 1, use_cache: bool = True,
+                     cache_dir=None, include_loo: bool = True,
+                     include_reverse: bool = False,
+                     logger=None) -> Dict[str, object]:
+    """Run the K-source -> 1-target study on a ladder.
+
+    Parameters
+    ----------
+    ladder:
+        Node chain to study (default: the 130/45/28/14/7 chain).
+        Ignored when ``dataset`` is given.
+    dataset:
+        Pre-built :class:`LadderDataset` (tests inject tiny ones).
+    steps / seed / resolution / workers / use_cache / cache_dir:
+        Training length override and dataset build knobs.
+    include_loo:
+        Also retrain with each source node left out.
+    include_reverse:
+        Also train toward the chain's *largest* node (needs a second
+        dataset build, since the test designs move nodes).
+    logger:
+        A :class:`~repro.obs.RunLogger`; per-node metrics are merged
+        into its manifest and summary.  Defaults to a no-op logger.
+    """
+    logger = logger if logger is not None else NullRunLogger()
+    config_kwargs = dict(OURS_CONFIG)
+    if steps is not None:
+        config_kwargs["steps"] = steps
+
+    if dataset is None:
+        ladder = ladder if ladder is not None \
+            else NodeLadder(DEFAULT_LADDER_NMS)
+        dataset = build_ladder_dataset(
+            ladder, resolution=resolution, use_cache=use_cache,
+            workers=workers, cache_dir=cache_dir)
+    ladder = dataset.ladder
+    nodes = ladder.node_labels
+    target = dataset.target_label
+
+    main = _train_and_score(dataset, nodes, target, seed, config_kwargs)
+
+    per_node: Dict[str, Dict[str, object]] = {}
+    for record in ladder.describe():
+        label = record["label"]
+        per_node[label] = {
+            **record,
+            "role": "target" if label == target else "source",
+            "num_train_designs": len(dataset.by_node(label)),
+        }
+
+    loo: Dict[str, Dict[str, float]] = {}
+    if include_loo:
+        for label in nodes:
+            if label == target:
+                continue
+            remaining = [n for n in nodes if n != label]
+            if len(remaining) < 2:
+                continue  # nothing left to align against
+            scores = _train_and_score(dataset, remaining, target, seed,
+                                      config_kwargs)
+            loo[label] = scores
+            per_node[label]["loo_average_r2"] = scores["average"]
+            per_node[label]["loo_delta_r2"] = \
+                main["average"] - scores["average"]
+
+    reverse: Optional[Dict[str, float]] = None
+    if include_reverse:
+        big = nodes[0]
+        rev_dataset = build_ladder_dataset(
+            ladder, target_label=big, resolution=resolution,
+            use_cache=use_cache, workers=workers, cache_dir=cache_dir)
+        reverse = _train_and_score(rev_dataset, nodes, big, seed,
+                                   config_kwargs)
+
+    results: Dict[str, object] = {
+        "nodes": list(nodes),
+        "target": target,
+        "main": main,
+        "per_node": per_node,
+        "leave_one_out": loo,
+    }
+    if reverse is not None:
+        results["reverse"] = {"target": nodes[0], **reverse}
+
+    logger.annotate_manifest(nodes=list(nodes), target_node=target,
+                             per_node=per_node)
+    logger.log_summary(
+        per_design={name: {"r2": value}
+                    for name, value in main.items()
+                    if name != "average"},
+        per_node=per_node,
+        ladder={"nodes": list(nodes), "target": target,
+                "average_r2": main["average"],
+                "leave_one_out": {k: v["average"]
+                                  for k, v in loo.items()}},
+    )
+    return results
+
+
+def format_ladder_study(results: Dict[str, object]) -> str:
+    nodes = " -> ".join(results["nodes"])
+    lines = [f"Ladder study: {nodes} (target {results['target']})",
+             f"  K-source R^2 (avg): {results['main']['average']:.3f}"]
+    for name, value in results["main"].items():
+        if name != "average":
+            lines.append(f"    {name:>12}: {value:.3f}")
+    if results["leave_one_out"]:
+        lines.append("  Leave-one-node-out (avg R^2 without node):")
+        for label, scores in results["leave_one_out"].items():
+            delta = results["per_node"][label]["loo_delta_r2"]
+            lines.append(f"    -{label:>8}: {scores['average']:.3f} "
+                         f"(delta {delta:+.3f})")
+    if "reverse" in results:
+        rev = results["reverse"]
+        lines.append(f"  Reverse transfer -> {rev['target']}: "
+                     f"{rev['average']:.3f}")
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ anything but time.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import zipfile
@@ -24,12 +25,13 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..features import GateVocabulary
-from ..techlib import TechLibrary, make_asap7_library, make_sky130_library
+from ..techlib import (NodeLadder, TechLibrary, library_digest,
+                       make_asap7_library, make_sky130_library)
 from ..util import get_timings, merge_timings, reset_timings
 from .dataset import DesignData, load_design_data, save_design_data
 
 __all__ = ["CODE_SALT", "FlowBuildError", "FlowCache", "build_designs",
-           "default_cache_dir"]
+           "default_cache_dir", "library_set_digest"]
 
 #: Bump when flow semantics change (new features, new seeding, ...) so
 #: previously cached designs are rebuilt rather than reused.
@@ -61,30 +63,39 @@ class FlowCache:
 
     # ------------------------------------------------------------------
     def key(self, name: str, node: str, scale: float, resolution: int,
-            seed: int) -> str:
+            seed: int, lib_digest: Optional[str] = None) -> str:
         """Filename-safe cache key; any parameter change changes it.
 
         Numeric parameters are canonicalised (``1`` and ``1.0`` produce
         the same key, as do numpy scalars), so numerically equal
         parameters can never miss an existing entry just because of
         their Python type's ``repr``.
+
+        ``lib_digest`` is the content digest of the *library set* the
+        flow ran against (:func:`library_set_digest`).  The node string
+        alone is just a label — two same-named but differently-scaled
+        libraries must key apart, and the gate one-hot depends on the
+        merged vocabulary of every library in the set.
         """
+        lib = f"_lib{lib_digest}" if lib_digest is not None else ""
         return (f"{name}@{node}_s{format(float(scale), '.6g')}"
-                f"_r{int(resolution)}_seed{int(seed)}_{CODE_SALT}")
+                f"_r{int(resolution)}_seed{int(seed)}{lib}_{CODE_SALT}")
 
     def path(self, name: str, node: str, scale: float, resolution: int,
-             seed: int) -> Path:
-        return self.root / f"{self.key(name, node, scale, resolution, seed)}.npz"
+             seed: int, lib_digest: Optional[str] = None) -> Path:
+        key = self.key(name, node, scale, resolution, seed, lib_digest)
+        return self.root / f"{key}.npz"
 
     # ------------------------------------------------------------------
     def load(self, name: str, node: str, scale: float, resolution: int,
-             seed: int) -> Optional[DesignData]:
+             seed: int, lib_digest: Optional[str] = None
+             ) -> Optional[DesignData]:
         """The cached design, or None on miss.
 
         A corrupt/truncated/stale-format entry counts as a miss: it is
         deleted so the subsequent store replaces it.
         """
-        path = self.path(name, node, scale, resolution, seed)
+        path = self.path(name, node, scale, resolution, seed, lib_digest)
         if not path.is_file():
             return None
         try:
@@ -94,10 +105,11 @@ class FlowCache:
             return None
 
     def store(self, design: DesignData, scale: float, resolution: int,
-              seed: int) -> Path:
+              seed: int, lib_digest: Optional[str] = None) -> Path:
         """Persist one design (atomic: save_design_data stages+renames)."""
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path(design.name, design.node, scale, resolution, seed)
+        path = self.path(design.name, design.node, scale, resolution,
+                         seed, lib_digest)
         save_design_data(design, path)
         return path
 
@@ -132,27 +144,47 @@ def _default_libraries() -> Dict[str, TechLibrary]:
     return {"130nm": make_sky130_library(), "7nm": make_asap7_library()}
 
 
-def _flow_worker(task: Tuple[str, str, float, int, int]
+def library_set_digest(libraries: Dict[str, TechLibrary]) -> str:
+    """Content digest of a whole node-label -> library mapping.
+
+    Order-independent over labels; covers each library's full
+    electrical content via :func:`~repro.techlib.library_digest`.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for label in sorted(libraries):
+        h.update(label.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(library_digest(libraries[label]).encode("ascii"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _flow_worker(task: Tuple[str, str, float, int, int,
+                             Optional[Dict[str, object]]]
                  ) -> Tuple[DesignData, Dict[str, Dict[str, float]]]:
     """Run one design through the flow (executes in a worker process).
 
-    Builds its own libraries/vocabulary: both are deterministic, so
-    every worker featurises against the same vocabulary as the parent.
-    Returns the design together with this task's timing registry —
-    pool processes are reused across tasks, so the registry is reset on
-    entry to scope the snapshot to exactly this build.
+    Builds its own libraries/vocabulary — from the task's ladder spec
+    when one is given, the two-node defaults otherwise.  Both are
+    deterministic, so every worker featurises against the same
+    vocabulary as the parent.  Returns the design together with this
+    task's timing registry — pool processes are reused across tasks, so
+    the registry is reset on entry to scope the snapshot to exactly
+    this build.
     """
     reset_timings()
-    name, node, scale, resolution, seed = task
+    name, node, scale, resolution, seed, ladder_spec = task
     from .pnr import PnRFlow
 
-    libraries = _default_libraries()
+    libraries = _default_libraries() if ladder_spec is None \
+        else NodeLadder.from_spec(ladder_spec).libraries()
     flow = PnRFlow(libraries, vocab=GateVocabulary(list(libraries.values())),
                    resolution=resolution, scale=scale, seed=seed)
     return flow.run(name, node), get_timings()
 
 
-def _run_parallel(tasks: Dict[int, Tuple[str, str, float, int, int]],
+def _run_parallel(tasks: Dict[int, Tuple[str, str, float, int, int,
+                                         Optional[Dict[str, object]]]],
                   workers: int
                   ) -> Tuple[Dict[int, Tuple[DesignData,
                                              Dict[str, Dict[str, float]]]],
@@ -186,6 +218,7 @@ def build_designs(names: Sequence[Tuple[str, str]],
                   cache_dir: Union[str, Path, None] = None,
                   libraries: Optional[Dict[str, TechLibrary]] = None,
                   vocab: Optional[GateVocabulary] = None,
+                  ladder: Optional[NodeLadder] = None,
                   retries: int = 2, retry_backoff: float = 0.5
                   ) -> List[DesignData]:
     """Build ``(name, node)`` designs, cached and optionally in parallel.
@@ -203,7 +236,13 @@ def build_designs(names: Sequence[Tuple[str, str]],
         Cache root override (default ``$REPRO_CACHE_DIR`` handling).
     libraries / vocab:
         Only used for serial builds; worker processes rebuild the
-        (deterministic) defaults themselves.
+        (deterministic) ladder libraries or two-node defaults
+        themselves.
+    ladder:
+        Build against this :class:`~repro.techlib.NodeLadder`'s
+        libraries instead of the two-node defaults.  The ladder's
+        small serializable spec — not the libraries — is shipped to
+        worker processes, which rebuild identical libraries from it.
     retries:
         Serial attempts per design *after* its first failure (pool or
         serial) before the design is declared dead.  Transient failures
@@ -215,12 +254,21 @@ def build_designs(names: Sequence[Tuple[str, str]],
         attempt *k* (0-based) sleeps ``retry_backoff * 2**k`` seconds
         first.  ``0`` retries immediately.
     """
+    if ladder is not None and libraries is None:
+        libraries = ladder.libraries()
+    libs = libraries if libraries is not None else _default_libraries()
+    # Content key: the features of every design depend on the whole
+    # library set (the gate one-hot spans the merged vocabulary), so
+    # the cache keys on a digest of all of it, not just the node label.
+    lib_digest = library_set_digest(libs)
+    ladder_spec = ladder.spec if ladder is not None else None
+
     cache = FlowCache(cache_dir)
     results: Dict[int, DesignData] = {}
     misses: List[int] = []
     for i, (name, node) in enumerate(names):
-        cached = cache.load(name, node, scale, resolution, seed) \
-            if use_cache else None
+        cached = cache.load(name, node, scale, resolution, seed,
+                            lib_digest) if use_cache else None
         if cached is not None:
             results[i] = cached
         else:
@@ -228,7 +276,8 @@ def build_designs(names: Sequence[Tuple[str, str]],
 
     pool_failed: Dict[int, BaseException] = {}
     if misses and workers > 1:
-        tasks = {i: (names[i][0], names[i][1], scale, resolution, seed)
+        tasks = {i: (names[i][0], names[i][1], scale, resolution, seed,
+                     ladder_spec)
                  for i in misses}
         done, pool_failed = _run_parallel(tasks, workers)
         for i, (design, worker_timings) in done.items():
@@ -247,9 +296,8 @@ def build_designs(names: Sequence[Tuple[str, str]],
     if misses_serial:
         from .pnr import PnRFlow
 
-        libraries = libraries or _default_libraries()
-        flow = PnRFlow(libraries,
-                       vocab=vocab or GateVocabulary(list(libraries.values())),
+        flow = PnRFlow(libs,
+                       vocab=vocab or GateVocabulary(list(libs.values())),
                        resolution=resolution, scale=scale, seed=seed)
         errors: List[Tuple[str, str, BaseException]] = []
         for i in misses_serial:
@@ -279,5 +327,5 @@ def build_designs(names: Sequence[Tuple[str, str]],
 
     if use_cache:
         for i in misses:
-            cache.store(results[i], scale, resolution, seed)
+            cache.store(results[i], scale, resolution, seed, lib_digest)
     return [results[i] for i in range(len(names))]

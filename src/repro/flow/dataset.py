@@ -7,6 +7,7 @@ per-endpoint cone masks) plus the signoff labels it must predict.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
@@ -73,6 +74,32 @@ class DesignData:
             stack = self.images[None, :, :, :] * self.cone_masks[:, None, :, :]
             self.__dict__["_path_image_stack"] = stack
         return stack
+
+    def content_digest(self) -> str:
+        """Stable hash of the design's model inputs (memoized).
+
+        ``(name, node)`` are just labels: the same benchmark built
+        against differently-scaled libraries carries different
+        features, and per-design caches (`repro.infer.cache`) must
+        tell the two apart.  Inputs are immutable after the flow, so
+        the digest is computed once and cached on the instance.
+        """
+        digest = self.__dict__.get("_content_digest")
+        if digest is None:
+            h = hashlib.blake2b(digest_size=8)
+            for array in (self.graph.features, self.graph.net_edges,
+                          self.graph.cell_edges,
+                          self.graph.endpoint_rows, self.images,
+                          self.cone_masks, self.labels,
+                          self.pre_route_at):
+                data = np.ascontiguousarray(array)
+                h.update(str(data.dtype).encode("ascii"))
+                h.update(str(data.shape).encode("ascii"))
+                h.update(data.tobytes())
+            h.update(repr(float(self.clock_period)).encode("ascii"))
+            digest = h.hexdigest()
+            self.__dict__["_content_digest"] = digest
+        return digest
 
     def endpoint_table(self) -> List[Dict[str, float]]:
         """Per-endpoint records: name, label, pre-route estimate."""

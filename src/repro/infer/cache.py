@@ -153,15 +153,18 @@ class FeatureCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self.max_entries = max_entries
-        self._store: "OrderedDict[Tuple[str, str], Tuple[str, FeatureTriple]]" = OrderedDict()
+        self._store: "OrderedDict[Tuple[str, str, str], Tuple[str, FeatureTriple]]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     @staticmethod
-    def _key(design) -> Tuple[str, str]:
-        return (design.name, design.node)
+    def _key(design) -> Tuple[str, str, str]:
+        # (name, node) alone is ambiguous: the same benchmark built
+        # against differently-scaled libraries is a different design,
+        # so the key includes a digest of the actual model inputs.
+        return (design.name, design.node, design.content_digest())
 
     def lookup(self, design, digest: str) -> Optional[FeatureTriple]:
         """The cached triple for ``design`` under ``digest``, or None."""

@@ -6,7 +6,8 @@ from .cnn import LayoutCNN, masked_path_images
 from .disentangle import Disentangler
 from .extractor import PathFeatureExtractor
 from .gnn import TimingGNN
-from .losses import cmd_loss, node_contrastive_loss
+from .losses import (cmd_loss, cmd_loss_multi, node_contrastive_loss,
+                     node_contrastive_loss_multi)
 from .predictor import TimingPredictor
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "TimingPredictor",
     "build_prior_feature",
     "cmd_loss",
+    "cmd_loss_multi",
     "masked_path_images",
     "node_contrastive_loss",
+    "node_contrastive_loss_multi",
 ]

@@ -1,4 +1,4 @@
-"""Feature alignment losses (Section 3.3).
+"""Feature alignment losses (Section 3.3), generalized to K nodes.
 
 - :func:`node_contrastive_loss` — Equations (3)/(4): pull node-dependent
   features from the same technology node together, push the two nodes
@@ -8,9 +8,21 @@
 - :func:`cmd_loss` — Equation (5): Central Moment Discrepancy between the
   design-dependent feature distributions of the two nodes, with moments
   up to order 5 on the tanh-bounded interval (-1, 1).
+
+The ``*_multi`` variants take a *list* of per-node feature sets instead
+of the paper's hard-coded (source, target) pair: the contrastive loss
+uses K-way anchor sets (each node's rows are positives for each other,
+every other node's rows are negatives), and the CMD either matches each
+source node against the target (``"vs-target"``) or every node pair
+(``"pairwise"``).  With exactly two groups both are **bit-for-bit**
+identical to the pair forms — the op sequence is the same — which is
+what lets the K-node trainer degrade exactly to the paper's two-node
+pipeline (DESIGN.md §15).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -18,6 +30,9 @@ from ..nn import Tensor, concatenate
 from ..nn import functional as F
 
 _EPS = 1e-8
+
+#: Accepted ``mode`` values of :func:`cmd_loss_multi`.
+CMD_MODES = ("vs-target", "pairwise")
 
 
 def _l2_normalize(u: Tensor) -> Tensor:
@@ -47,13 +62,42 @@ def node_contrastive_loss(u_source: Tensor, u_target: Tensor,
         Scalar loss: mean anchor loss of the source set plus mean anchor
         loss of the target set (Equation 4's per-set normalisation).
     """
-    ks, kt = len(u_source), len(u_target)
-    if ks < 2 or kt < 2:
+    return node_contrastive_loss_multi((u_source, u_target),
+                                       temperature=temperature,
+                                       normalize=normalize)
+
+
+def node_contrastive_loss_multi(groups: Sequence[Tensor],
+                                temperature: float = 0.5,
+                                normalize: bool = True) -> Tensor:
+    """K-way node contrastive loss over per-node feature sets.
+
+    Parameters
+    ----------
+    groups:
+        One ``(K_i, d)`` feature set per technology node (at least two
+        groups, each with at least two rows).  Rows of the same group
+        are mutual positives; every other group's rows are negatives.
+    temperature / normalize:
+        As in :func:`node_contrastive_loss`.
+
+    Returns
+    -------
+    Tensor
+        Scalar: the sum over groups of that group's mean anchor loss —
+        Equation 4's per-set normalisation, applied per node.  With two
+        groups this is bit-for-bit :func:`node_contrastive_loss`.
+    """
+    groups = list(groups)
+    if len(groups) < 2:
+        raise ValueError("need feature sets from at least two nodes")
+    sizes = [len(g) for g in groups]
+    if min(sizes) < 2:
         raise ValueError("need at least two paths per node for contrast")
-    features = concatenate([u_source, u_target], axis=0)
+    features = concatenate(groups, axis=0)
     if normalize:
         features = _l2_normalize(features)
-    k = ks + kt
+    k = sum(sizes)
 
     logits = (features @ features.T) * (1.0 / temperature)
     # Exclude self-similarity from every denominator.
@@ -61,17 +105,24 @@ def node_contrastive_loss(u_source: Tensor, u_target: Tensor,
     logits = logits - Tensor(self_mask)
     log_prob = F.log_softmax(logits, axis=1)
 
+    # Block-diagonal positive mask: one block per node group.
     positives = np.zeros((k, k))
-    positives[:ks, :ks] = 1.0
-    positives[ks:, ks:] = 1.0
+    lo = 0
+    for size in sizes:
+        positives[lo:lo + size, lo:lo + size] = 1.0
+        lo += size
     np.fill_diagonal(positives, 0.0)
     pos_counts = positives.sum(axis=1, keepdims=True)
 
     anchor_loss = -(log_prob * Tensor(positives)).sum(axis=1, keepdims=True) \
         / Tensor(pos_counts)
-    source_mean = anchor_loss[:ks].mean()
-    target_mean = anchor_loss[ks:].mean()
-    return source_mean + target_mean
+    total = None
+    lo = 0
+    for size in sizes:
+        group_mean = anchor_loss[lo:lo + size].mean()
+        lo += size
+        total = group_mean if total is None else total + group_mean
+    return total
 
 
 def cmd_loss(u_source: Tensor, u_target: Tensor, max_order: int = 5,
@@ -110,4 +161,52 @@ def cmd_loss(u_source: Tensor, u_target: Tensor, max_order: int = 5,
         d = m_s - m_t
         total = total + ((d * d).sum() + _EPS) ** 0.5 \
             * (1.0 / interval ** order)
+    return total
+
+
+def cmd_loss_multi(groups: Sequence[Tensor], max_order: int = 5,
+                   bound: float = 1.0, mode: str = "vs-target",
+                   target_index: int = -1) -> Tensor:
+    """CMD over K per-node feature sets.
+
+    Parameters
+    ----------
+    groups:
+        One ``(K_i, d)`` design-dependent feature set per node.
+    max_order / bound:
+        As in :func:`cmd_loss`.
+    mode:
+        ``"vs-target"`` sums :func:`cmd_loss` between each source group
+        and the target group (K-source -> 1-target transfer, the
+        default); ``"pairwise"`` sums it over every unordered pair of
+        groups (symmetric alignment of the whole chain).
+    target_index:
+        Which group is the target in ``"vs-target"`` mode (default: the
+        last, matching the trainer's source-then-target ordering).
+
+    Returns
+    -------
+    Tensor
+        Scalar: the sum of the pair CMDs.  A single pair is returned
+        as-is — no extra arithmetic — so with two groups this is
+        bit-for-bit :func:`cmd_loss`.
+    """
+    groups = list(groups)
+    if len(groups) < 2:
+        raise ValueError("need feature sets from at least two nodes")
+    if mode == "vs-target":
+        target = groups[target_index]
+        pairs = [(g, target) for i, g in enumerate(groups)
+                 if i != target_index % len(groups)]
+    elif mode == "pairwise":
+        pairs = [(groups[i], groups[j])
+                 for i in range(len(groups))
+                 for j in range(i + 1, len(groups))]
+    else:
+        raise ValueError(
+            f"mode must be one of {CMD_MODES}, got {mode!r}")
+    total = None
+    for a, b in pairs:
+        term = cmd_loss(a, b, max_order=max_order, bound=bound)
+        total = term if total is None else total + term
     return total

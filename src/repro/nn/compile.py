@@ -895,6 +895,9 @@ PRIMITIVE_OPS = frozenset(KERNELS)
 COMPOSITE_OPS = frozenset({
     "softmax", "mse_loss", "mae_loss", "gaussian_nll", "huber_loss",
     "global_avg_pool2d",
+    # K-node alignment losses (repro.model.losses): pure compositions
+    # of primitives, traced through like any other expression.
+    "node_contrastive_loss_multi", "cmd_loss_multi",
 })
 #: Ops that legitimately poison a trace (stochastic per call).
 UNTRACEABLE_OPS = frozenset({"dropout"})

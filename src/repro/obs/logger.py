@@ -372,6 +372,9 @@ class NullRunLogger:
     def log_summary(self, **fields: Any) -> Dict[str, Any]:
         return {}
 
+    def annotate_manifest(self, **fields: Any) -> Dict[str, Any]:
+        return {}
+
     def close(self) -> None:
         pass
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -184,6 +185,51 @@ def build_cell(name: str, function: str, drive: float, n_inputs: int,
         arcs=arcs, area=area * (0.7 + 0.3 * drive), leakage=leakage * drive,
         is_sequential=is_sequential, setup_time=setup_time, clk_to_q=clk_to_q,
     )
+
+
+def library_digest(library: TechLibrary) -> str:
+    """Stable content hash of a library's electrical identity.
+
+    Covers the name, node size, every cell's full electrical content
+    (pins, caps, timing tables, area/leakage, sequential constraints),
+    the wire model, site geometry and node-level defaults — so two
+    same-named but differently-scaled libraries always digest apart.
+    Used to content-key flow caches; 16 hex chars, filename-safe.
+    """
+    h = hashlib.blake2b(digest_size=8)
+
+    def feed(*parts) -> None:
+        for part in parts:
+            h.update(str(part).encode("utf-8"))
+            h.update(b"\x00")
+
+    def feed_array(array: np.ndarray) -> None:
+        data = np.ascontiguousarray(array, dtype=np.float64)
+        feed(data.shape)
+        h.update(data.tobytes())
+
+    feed(library.name, repr(float(library.node_nm)))
+    for cell_name in sorted(library.cells):
+        cell = library.cells[cell_name]
+        feed(cell_name, cell.function, repr(float(cell.drive_strength)),
+             list(cell.input_pins), cell.output_pin,
+             int(cell.is_sequential), repr(float(cell.area)),
+             repr(float(cell.leakage)), repr(float(cell.setup_time)),
+             repr(float(cell.clk_to_q)))
+        for pin in sorted(cell.pin_caps):
+            feed(pin, repr(float(cell.pin_caps[pin])))
+        for arc in cell.arcs:
+            feed(arc.input_pin, arc.output_pin)
+            for table in (arc.delay, arc.output_slew):
+                feed_array(table.slew_axis)
+                feed_array(table.load_axis)
+                feed_array(table.values)
+    feed(repr(float(library.wire.res_per_um)),
+         repr(float(library.wire.cap_per_um)),
+         repr(tuple(float(s) for s in library.site)),
+         repr(float(library.default_clock_period)),
+         repr(float(library.primary_input_slew)))
+    return h.hexdigest()
 
 
 def merged_cell_vocabulary(libraries: Iterable[TechLibrary]) -> List[str]:

@@ -18,18 +18,59 @@ from .library import TechLibrary, WireModel
 from .sky130 import make_sky130_library
 
 
+def _common_cell_prefix(cells) -> Optional[str]:
+    """The shared ``<prefix>_`` of the cells' names, or None if mixed."""
+    prefixes = {cell.name.split("_", 1)[0] for cell in cells}
+    return prefixes.pop() if len(prefixes) == 1 else None
+
+
+def nm_text(node_nm: float) -> str:
+    """Collision-free, filename-safe text for a node size in nm.
+
+    Uses the shortest round-trip ``repr`` of the float (injective per
+    value), drops a trailing ``.0`` and spells the decimal point ``p``:
+    ``130.0 -> "130"``, ``45.2 -> "45p2"``, ``45.7 -> "45p7"``.
+    """
+    text = repr(float(node_nm))
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text.replace(".", "p").replace("-", "m")
+
+
 def scale_library(library: TechLibrary, name: str, node_nm: float,
                   delay_factor: float, cap_factor: float,
-                  area_factor: float) -> TechLibrary:
+                  area_factor: float,
+                  cell_prefix: Optional[str] = None) -> TechLibrary:
     """Produce a copy of ``library`` with scaled electrical parameters.
 
     Delay tables (values *and* slew axes), pin capacitances (and load
     axes), areas, leakage, sequential constraints, wire parasitics, site
     geometry, and the node-level defaults all scale coherently, so the
     derived library is immediately usable by the whole flow.
+
+    Cells are renamed onto ``cell_prefix`` (default: the first ``_``
+    segment of ``name``) by swapping the source cells' own common name
+    prefix — e.g. ``sky_inv_x1 -> synth45_inv_x1``.  Derived cell names
+    must not alias the source's: the merged cross-node gate vocabulary
+    (and every name-keyed cache) tells cells apart by name alone.
     """
     if min(delay_factor, cap_factor, area_factor) <= 0:
         raise ValueError("scale factors must be positive")
+    src_prefix = _common_cell_prefix(library.cells.values())
+    dst_prefix = cell_prefix if cell_prefix is not None \
+        else name.split("_")[0]
+    if dst_prefix == src_prefix:
+        raise ValueError(
+            f"derived cell prefix {dst_prefix!r} equals the source "
+            f"library's; the scaled cells would alias {library.name}'s "
+            "cell names — pass a distinct name or cell_prefix"
+        )
+
+    def rename(cell_name: str) -> str:
+        if src_prefix is not None \
+                and cell_name.startswith(src_prefix + "_"):
+            return dst_prefix + cell_name[len(src_prefix):]
+        return f"{dst_prefix}_{cell_name}"
 
     def scale_table(table: TimingTable) -> TimingTable:
         return TimingTable(
@@ -47,8 +88,7 @@ def scale_library(library: TechLibrary, name: str, node_nm: float,
             for a in cell.arcs
         ]
         cells.append(StandardCell(
-            name=cell.name.replace(library.name.split("_")[0],
-                                   name.split("_")[0], 1),
+            name=rename(cell.name),
             function=cell.function,
             drive_strength=cell.drive_strength,
             input_pins=list(cell.input_pins),
@@ -85,9 +125,18 @@ def make_interpolated_node(node_nm: float,
     The derived library keeps the 130nm *cell mix* (it descends from
     sky130), which is realistic: older-flavoured libraries persist for
     several generations.
+
+    The anchor sizes themselves are rejected: a "synthetic" 130nm or
+    7nm node would silently duplicate an anchor under a different name.
+    Use :func:`~repro.techlib.make_sky130_library` /
+    :func:`~repro.techlib.make_asap7_library` for the anchors.
     """
-    if not 7.0 <= node_nm <= 130.0:
-        raise ValueError("interpolation range is [7, 130] nm")
+    if not 7.0 < node_nm < 130.0:
+        raise ValueError(
+            f"interpolation range is the open interval (7, 130) nm, "
+            f"got {node_nm}; the endpoints are the anchor libraries "
+            "(make_sky130_library / make_asap7_library)"
+        )
     sky = make_sky130_library()
     asap = make_asap7_library()
 
@@ -105,7 +154,7 @@ def make_interpolated_node(node_nm: float,
                              .input_cap("A"))
     area_ratio = anchor_ratio(lambda lib: lib.pick("INV", 1.0).area)
 
-    name = name or f"synth{int(node_nm)}"
+    name = name or f"synth{nm_text(node_nm)}"
     return scale_library(
         sky, name=name, node_nm=node_nm,
         delay_factor=delay_ratio ** t,

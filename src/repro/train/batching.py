@@ -29,9 +29,13 @@ def sample_from_pool(pool: np.ndarray, batch_size: int,
     return rng.choice(pool, size=batch_size, replace=False)
 
 
-def split_by_node(designs: Sequence[DesignData]
+def split_by_node(designs: Sequence[DesignData], target_node: str = "7nm"
                   ) -> Tuple[List[DesignData], List[DesignData]]:
-    """Partition designs into (source/130nm, target/7nm) lists."""
-    source = [d for d in designs if d.node == "130nm"]
-    target = [d for d in designs if d.node == "7nm"]
+    """Partition designs into (source, target) lists.
+
+    Every design whose node is not ``target_node`` counts as source —
+    with a K-node ladder that is the whole source chain.
+    """
+    source = [d for d in designs if d.node != target_node]
+    target = [d for d in designs if d.node == target_node]
     return source, target

@@ -298,7 +298,9 @@ class ParallelTrainer(OursTrainer):
 
     def _checkpoint_extra(self) -> Dict[str, object]:
         """Record the worker count (telemetry only — any count resumes)."""
-        return {"workers": self.workers}
+        extra = super()._checkpoint_extra()
+        extra["workers"] = self.workers
+        return extra
 
     # -- worker lifecycle ----------------------------------------------
     def _start_workers(self) -> None:

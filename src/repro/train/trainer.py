@@ -19,14 +19,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..flow import DesignData
-from ..model import TimingPredictor, cmd_loss, node_contrastive_loss
+from ..model import (TimingPredictor, cmd_loss_multi,
+                     node_contrastive_loss_multi)
 from ..model.gnn import reference_sweep
 from ..nn import (Adam, CheckpointError, CompiledStep, CompileError,
                   ReplayMismatch, Tensor, concatenate, step_index,
                   step_input, trace)
 from ..obs import NullRunLogger, RunLogger
 from ..util import timed
-from .batching import sample_endpoints, sample_from_pool, split_by_node
+from .batching import sample_endpoints, sample_from_pool
 from .checkpoint import (CHECKPOINT_NAME, TrainingCheckpoint, restore_rng,
                          save_checkpoint)
 from .checkpoint import load_checkpoint as read_checkpoint
@@ -85,6 +86,19 @@ class TrainConfig:
     #: loss deviation; see DESIGN.md §11).  Eager execution is always
     #: float64, so float32 requires the compiled fused step.
     dtype: str = "float64"
+    #: Ordered node labels of the training chain, sources first (e.g.
+    #: ``["130nm", "45nm", "7nm"]``).  ``None`` (the default) derives
+    #: the order from the designs — every non-target node in first-seen
+    #: order, then the target — which reproduces the historical
+    #: two-node behaviour exactly.  Stored as a list so the checkpoint
+    #: config diff survives its JSON round trip.
+    nodes: Optional[List[str]] = None
+    #: The transfer target's node label; all other nodes are sources.
+    target_node: str = "7nm"
+    #: How the CMD couples K > 2 nodes: ``"vs-target"`` (each source
+    #: vs the target; the paper's pair for K=2) or ``"pairwise"``
+    #: (every node pair).  Identical for K=2 either way.
+    cmd_mode: str = "vs-target"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.swa_fraction <= 1.0:
@@ -105,6 +119,25 @@ class TrainConfig:
                 "dtype='float32' runs only in the compiled fused step; "
                 "set compile=True and fused=True (or use float64)"
             )
+        if self.cmd_mode not in ("vs-target", "pairwise"):
+            raise ValueError(
+                f"cmd_mode must be 'vs-target' or 'pairwise', "
+                f"got {self.cmd_mode!r}"
+            )
+        if self.nodes is not None:
+            self.nodes = list(self.nodes)
+            if len(self.nodes) < 2:
+                raise ValueError(
+                    f"nodes needs at least a source and a target, "
+                    f"got {self.nodes}"
+                )
+            if len(set(self.nodes)) != len(self.nodes):
+                raise ValueError(f"duplicate node labels in {self.nodes}")
+            if self.target_node not in self.nodes:
+                raise ValueError(
+                    f"target_node {self.target_node!r} is not in "
+                    f"nodes {self.nodes}"
+                )
 
 
 class OursTrainer:
@@ -139,7 +172,41 @@ class OursTrainer:
         self.config = config or TrainConfig()
         self.logger = logger if logger is not None else NullRunLogger()
         self._checkpoint_path = checkpoint_path
-        self.source, self.target = split_by_node(designs)
+        # K-node grouping: designs are ordered node by node — source
+        # nodes in chain order, the target node last — and each node's
+        # designs keep their input order.  With the default two-node
+        # config this reduces exactly to the historical
+        # source-then-target split.
+        cfg = self.config
+        self.target_node = cfg.target_node
+        seen: List[str] = []
+        for design in designs:
+            if design.node not in seen:
+                seen.append(design.node)
+        if cfg.nodes is not None:
+            unknown = sorted(set(seen) - set(cfg.nodes))
+            if unknown:
+                raise ValueError(
+                    f"designs from nodes {unknown} are not in "
+                    f"config.nodes {cfg.nodes}"
+                )
+            order = [n for n in cfg.nodes if n != self.target_node] \
+                + [self.target_node]
+        else:
+            order = [n for n in seen if n != self.target_node] \
+                + [self.target_node]
+        groups = {node: [d for d in designs if d.node == node]
+                  for node in order}
+        # Shard-local trainers (repro.train.worker) may see only a
+        # subset of the chain's nodes; empty groups are dropped so the
+        # per-node blocks stay well-formed.
+        self.node_order: List[str] = [n for n in order if groups[n]]
+        self.node_groups: Dict[str, List[DesignData]] = {
+            n: groups[n] for n in self.node_order}
+        self.source = [d for n in self.node_order
+                       if n != self.target_node
+                       for d in self.node_groups[n]]
+        self.target = groups.get(self.target_node, [])
         if not self.source or not self.target:
             raise ValueError(
                 "ours needs designs from both nodes "
@@ -156,7 +223,7 @@ class OursTrainer:
         if 0.0 < self.config.holdout_fraction < 1.0:
             self.selector = HoldoutSelector(
                 designs, fraction=self.config.holdout_fraction,
-                seed=self.config.seed,
+                seed=self.config.seed, target_node=self.target_node,
             )
         if self.selector is not None and self.config.swa_fraction < 1.0:
             # Both mechanisms overwrite the final weights; restoring a
@@ -174,8 +241,9 @@ class OursTrainer:
         # likelihood's scale on the node population N, so the 130nm
         # node's absolutely-larger errors cannot drown the 7nm signal.
         self.node_obs_var: Dict[str, float] = {}
-        for node, group in (("130nm", self.source), ("7nm", self.target)):
-            labels = np.concatenate([d.labels for d in group])
+        for node in self.node_order:
+            labels = np.concatenate([d.labels
+                                     for d in self.node_groups[node]])
             self.node_obs_var[node] = float(max(labels.var(), 1e-6))
         # Fused batching state: the disjoint-union graph is static
         # across steps (only endpoint subsets change), so it is built
@@ -262,7 +330,8 @@ class OursTrainer:
 
     def _checkpoint_extra(self) -> Dict[str, object]:
         """Informational metadata for the checkpoint (never binding)."""
-        return {}
+        return {"nodes": list(self.node_order),
+                "target_node": self.target_node}
 
     def load_checkpoint(self, path: Union[str, Path]
                         ) -> TrainingCheckpoint:
@@ -470,20 +539,28 @@ class OursTrainer:
                 u, u_n, u_d = self._features_looped(subsets)
         z = self.model.disentangler.recombine(u_n, u_d)
         ranges = slice_ranges([len(s) for s in subsets])
-        # Designs are ordered source-then-target, so each node's block
-        # is one contiguous row range of the batched features.
-        n_source = ranges[len(self.source) - 1][1]
-        un_s, un_t = u_n[:n_source], u_n[n_source:]
+        # Designs are ordered node-by-node (sources in chain order,
+        # target last), so each node's block is one contiguous row range
+        # of the batched features.
+        node_bounds = []
+        first = 0
+        row_lo = 0
+        for node in self.node_order:
+            count = len(self.node_groups[node])
+            row_hi = ranges[first + count - 1][1]
+            node_bounds.append((row_lo, row_hi))
+            row_lo = row_hi
+            first += count
+        un_groups = [u_n[lo:hi] for lo, hi in node_bounds]
 
-        prior_s = self.model.prior_for(un_s, u_d)
-        prior_t = self.model.prior_for(un_t, u_d)
+        priors = {node: self.model.prior_for(un_groups[i], u_d)
+                  for i, node in enumerate(self.node_order)}
 
         elbo_total = None
         with timed("train.elbo"):
             for i, (design, subset, (lo, hi)) in enumerate(
                     zip(designs, subsets, ranges)):
-                prior_mu, prior_lv = prior_s if design.node == "130nm" \
-                    else prior_t
+                prior_mu, prior_lv = priors[design.node]
                 y = step_input(f"y{i}", inputs[f"y{i}"])
                 eps_q = step_input(f"eps_q{i}", inputs[f"eps_q{i}"])
                 eps_p = step_input(f"eps_p{i}", inputs[f"eps_p{i}"]) \
@@ -499,10 +576,13 @@ class OursTrainer:
                     else elbo_total + term
 
         with timed("train.align"):
-            clr = node_contrastive_loss(un_s, un_t,
-                                        temperature=cfg.temperature)
-            cmd = cmd_loss(u_d[:n_source], u_d[n_source:],
-                           max_order=cfg.cmd_order)
+            clr = node_contrastive_loss_multi(
+                un_groups, temperature=cfg.temperature)
+            # Slice u_d only now so the backward accumulation order into
+            # u_d matches the legacy two-node tape bit-for-bit.
+            ud_groups = [u_d[lo:hi] for lo, hi in node_bounds]
+            cmd = cmd_loss_multi(ud_groups, max_order=cfg.cmd_order,
+                                 mode=cfg.cmd_mode)
         total = elbo_total + gamma1 * clr + gamma2 * cmd
         return total, elbo_total, clr, cmd
 

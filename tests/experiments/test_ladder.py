@@ -1,0 +1,73 @@
+"""Tests for the ladder split and study plumbing (no flow builds)."""
+
+import pytest
+
+from repro.experiments import format_ladder_study, ladder_split
+from repro.netlist import TEST_SPLIT, TRAIN_SPLIT
+from repro.techlib import NodeLadder
+
+
+class TestLadderSplit:
+    def test_two_anchor_ladder_reproduces_paper_split(self):
+        """[130, 7] must degrade to build_dataset's exact split."""
+        ladder = NodeLadder(node_nms=(130.0, 7.0))
+        train, test = ladder_split(ladder)
+        assert train == list(TRAIN_SPLIT.items())
+        assert test == [(name, "7nm") for name in TEST_SPLIT]
+
+    def test_sources_round_robin_across_chain(self):
+        ladder = NodeLadder(node_nms=(130.0, 45.0, 7.0))
+        train, test = ladder_split(ladder)
+        by_node = {}
+        for name, node in train:
+            by_node.setdefault(node, []).append(name)
+        # Target-role designs stay on the target node.
+        assert by_node["7nm"] == [
+            name for name, role in TRAIN_SPLIT.items() if role == "7nm"]
+        # The four source-role designs alternate 130 -> 45 -> 130 -> 45.
+        sources = [name for name, role in TRAIN_SPLIT.items()
+                   if role != "7nm"]
+        assert by_node["130nm"] == sources[0::2]
+        assert by_node["45nm"] == sources[1::2]
+        assert all(node == "7nm" for _, node in test)
+
+    def test_reverse_transfer_target(self):
+        ladder = NodeLadder(node_nms=(130.0, 45.0, 7.0))
+        train, test = ladder_split(ladder, target_label="130nm")
+        assert all(node == "130nm" for _, node in test)
+        source_nodes = {node for name, node in train
+                        if TRAIN_SPLIT.get(name) != "7nm"}
+        assert source_nodes == {"45nm", "7nm"}
+
+    def test_unknown_target_rejected(self):
+        ladder = NodeLadder(node_nms=(130.0, 7.0))
+        with pytest.raises(ValueError):
+            ladder_split(ladder, target_label="45nm")
+
+
+class TestFormat:
+    def test_format_renders_all_sections(self):
+        results = {
+            "nodes": ["130nm", "45nm", "7nm"],
+            "target": "7nm",
+            "main": {"average": 0.91, "arm9": 0.9},
+            "per_node": {
+                "130nm": {"nm": 130.0, "role": "source",
+                          "num_cells": 20, "num_train_designs": 2,
+                          "loo_average_r2": 0.8, "loo_delta_r2": -0.11},
+                "45nm": {"nm": 45.0, "role": "source",
+                         "num_cells": 18, "num_train_designs": 2,
+                         "loo_average_r2": 0.85, "loo_delta_r2": -0.06},
+                "7nm": {"nm": 7.0, "role": "target",
+                        "num_cells": 16, "num_train_designs": 1},
+            },
+            "leave_one_out": {"130nm": {"average": 0.8},
+                              "45nm": {"average": 0.85}},
+            "reverse": {"target": "130nm", "average": 0.7},
+        }
+        text = format_ladder_study(results)
+        assert "Ladder study" in text
+        assert "Leave-one-node-out" in text
+        assert "130nm" in text and "45nm" in text
+        assert "0.91" in text
+        assert "Reverse" in text

@@ -9,10 +9,17 @@ import numpy as np
 import pytest
 
 from repro.flow import FlowBuildError, FlowCache, build_designs, run_flow
-from repro.techlib import make_asap7_library, make_sky130_library
+from repro.flow.cache import library_set_digest
+from repro.techlib import (make_asap7_library, make_sky130_library,
+                           scale_library)
 from repro.util import get_timings, reset_timings
 
 NAMES = [("usbf_device", "7nm")]
+
+#: The library-set digest build_designs keys on for the default
+#: two-node libraries.
+DIGEST = library_set_digest(
+    {"130nm": make_sky130_library(), "7nm": make_asap7_library()})
 
 
 @pytest.fixture(scope="module")
@@ -49,7 +56,7 @@ class TestCacheHit:
     def test_hit_does_not_rerun_flow(self, tmp_path):
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         cache = FlowCache(tmp_path)
-        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0, DIGEST)
         mtime = path.stat().st_mtime_ns
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         assert path.stat().st_mtime_ns == mtime
@@ -85,10 +92,14 @@ class TestCacheKey:
     def test_scale_and_seed_miss_the_cache(self, tmp_path):
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         cache = FlowCache(tmp_path)
-        assert cache.load("usbf_device", "7nm", 1.0, 16, 0) is not None
-        assert cache.load("usbf_device", "7nm", 1.0, 16, 1) is None
-        assert cache.load("usbf_device", "7nm", 0.5, 16, 0) is None
-        assert cache.load("usbf_device", "7nm", 1.0, 32, 0) is None
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0,
+                          DIGEST) is not None
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 1, DIGEST) is None
+        assert cache.load("usbf_device", "7nm", 0.5, 16, 0, DIGEST) is None
+        assert cache.load("usbf_device", "7nm", 1.0, 32, 0, DIGEST) is None
+        # The node string alone is not enough: without the library-set
+        # digest the entry built against the real libraries must miss.
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0) is None
 
 
 class TestBypassAndCorruption:
@@ -100,7 +111,7 @@ class TestBypassAndCorruption:
     def test_no_cache_ignores_existing_entries(self, tmp_path, fresh):
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         cache = FlowCache(tmp_path)
-        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0, DIGEST)
         path.write_bytes(b"poisoned")  # would crash if loaded
         (rebuilt,) = build_designs(NAMES, resolution=16, use_cache=False,
                                    cache_dir=tmp_path)
@@ -110,12 +121,13 @@ class TestBypassAndCorruption:
     def test_corrupt_entry_discarded_and_rebuilt(self, tmp_path, fresh):
         build_designs(NAMES, resolution=16, cache_dir=tmp_path)
         cache = FlowCache(tmp_path)
-        path = cache.path("usbf_device", "7nm", 1.0, 16, 0)
+        path = cache.path("usbf_device", "7nm", 1.0, 16, 0, DIGEST)
         path.write_bytes(b"\x00" * 64)
         (rebuilt,) = build_designs(NAMES, resolution=16,
                                    cache_dir=tmp_path)
         _assert_identical(rebuilt, fresh)
-        assert cache.load("usbf_device", "7nm", 1.0, 16, 0) is not None
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0,
+                          DIGEST) is not None
 
 
 class TestParallelBuild:
@@ -182,7 +194,8 @@ class TestBuildFailures:
         monkeypatch.setattr(cache_mod, "_run_parallel", broken_pool)
         (built,) = build_designs(NAMES, resolution=16, workers=2,
                                  use_cache=False)
-        assert calls["tasks"] == {0: ("usbf_device", "7nm", 1.0, 16, 0)}
+        assert calls["tasks"] == {
+            0: ("usbf_device", "7nm", 1.0, 16, 0, None)}
         _assert_identical(built, fresh)
 
 
@@ -264,6 +277,54 @@ class TestRetryBackoff:
                                  retry_backoff=0.5)
         _assert_identical(built, fresh)
         assert sleeps == [0.5]  # one backoff before the serial recovery
+
+
+class TestLibraryContentKeying:
+    """Regression: cache keys used to include only the *node label*, so
+    two same-named but differently-scaled libraries collided — a run
+    against a rescaled "7nm" silently served designs built against the
+    real one."""
+
+    def test_same_label_different_content_digests_apart(self):
+        base = {"130nm": make_sky130_library(),
+                "7nm": make_asap7_library()}
+        asap = base["7nm"]
+        rescaled = dict(base)
+        rescaled["7nm"] = scale_library(
+            asap, name=asap.name, node_nm=asap.node_nm,
+            delay_factor=0.5, cap_factor=1.0, area_factor=1.0,
+            cell_prefix="fast")
+        assert library_set_digest(rescaled) != library_set_digest(base)
+
+    def test_key_separates_same_label_library_sets(self, tmp_path):
+        asap = make_asap7_library()
+        rescaled = scale_library(
+            asap, name=asap.name, node_nm=asap.node_nm,
+            delay_factor=0.5, cap_factor=1.0, area_factor=1.0,
+            cell_prefix="fast")
+        d_base = library_set_digest({"7nm": asap})
+        d_fast = library_set_digest({"7nm": rescaled})
+        cache = FlowCache(tmp_path)
+        assert cache.key("jpeg", "7nm", 1.0, 16, 0, d_base) != \
+            cache.key("jpeg", "7nm", 1.0, 16, 0, d_fast)
+
+    def test_build_designs_misses_on_changed_libraries(self, tmp_path):
+        """An entry built against the default libraries must not be
+        served for the same (name, node) under different libraries."""
+        build_designs(NAMES, resolution=16, cache_dir=tmp_path)
+        base = {"130nm": make_sky130_library(),
+                "7nm": make_asap7_library()}
+        asap = base["7nm"]
+        rescaled = dict(base)
+        rescaled["7nm"] = scale_library(
+            asap, name=asap.name, node_nm=asap.node_nm,
+            delay_factor=0.5, cap_factor=1.0, area_factor=1.0,
+            cell_prefix="fast")
+        cache = FlowCache(tmp_path)
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0,
+                          library_set_digest(base)) is not None
+        assert cache.load("usbf_device", "7nm", 1.0, 16, 0,
+                          library_set_digest(rescaled)) is None
 
 
 class TestAtomicStore:

@@ -22,9 +22,14 @@ class _Shell(Module):
 
 
 class _FakeDesign:
-    def __init__(self, name, node="7nm"):
+    def __init__(self, name, node="7nm", content=None):
         self.name = name
         self.node = node
+        self._content = content if content is not None \
+            else f"{name}@{node}"
+
+    def content_digest(self):
+        return self._content
 
 
 class TestNamedTensors:
@@ -115,6 +120,22 @@ class TestFeatureCache:
         assert len(cache) == 2
         hit = cache.lookup(_FakeDesign("a", "130nm"), "d")
         assert hit[0].shape[0] == 5
+
+    def test_same_name_different_content_distinct(self):
+        """Regression: the key used to be (name, node) only, so the
+        same benchmark built against differently-scaled libraries
+        served the *other* build's features."""
+        cache = FeatureCache()
+        cache.store(_FakeDesign("a", "7nm", content="real"), "d",
+                    self._triple())
+        cache.store(_FakeDesign("a", "7nm", content="rescaled"), "d",
+                    self._triple(5))
+        assert len(cache) == 2
+        hit = cache.lookup(_FakeDesign("a", "7nm", content="rescaled"),
+                           "d")
+        assert hit[0].shape[0] == 5
+        hit = cache.lookup(_FakeDesign("a", "7nm", content="real"), "d")
+        assert hit[0].shape[0] == 3
 
     def test_clear(self):
         cache = FeatureCache()

@@ -102,7 +102,9 @@ class TestBoundedEngineCaches:
 # ----------------------------------------------------------------------
 # FeatureCache under concurrency
 # ----------------------------------------------------------------------
-_FakeDesign = namedtuple("_FakeDesign", "name node")
+class _FakeDesign(namedtuple("_FakeDesign", "name node")):
+    def content_digest(self):
+        return f"{self.name}@{self.node}"
 
 
 class TestFeatureCacheConcurrency:

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.model import cmd_loss, node_contrastive_loss
+from repro.model import (
+    cmd_loss,
+    cmd_loss_multi,
+    node_contrastive_loss,
+    node_contrastive_loss_multi,
+)
 from repro.nn import Tensor
 
 
@@ -117,3 +122,93 @@ class TestCMD:
         a = Tensor(np.tanh(rng.standard_normal((25, 3))))
         b = Tensor(np.tanh(rng.standard_normal((25, 3))))
         assert cmd_loss(a, b).item() >= 0.0
+
+
+def _pair(seed, n_a=8, n_b=10, dim=4):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((n_a, dim)), requires_grad=True)
+    b = Tensor(rng.standard_normal((n_b, dim)) + 0.5,
+               requires_grad=True)
+    return a, b
+
+
+class TestContrastiveMulti:
+    def test_two_groups_bitwise_equal_to_pair_form(self):
+        """The K-way loss must *be* the pair loss at K=2 — forward and
+        gradients bit-for-bit, so the trainer's bit-equivalence gate
+        holds."""
+        a1, b1 = _pair(0)
+        a2, b2 = _pair(0)
+        pair = node_contrastive_loss(a1, b1, temperature=0.4)
+        multi = node_contrastive_loss_multi((a2, b2), temperature=0.4)
+        assert np.array_equal(pair.data, multi.data)
+        pair.backward()
+        multi.backward()
+        assert np.array_equal(a1.grad, a2.grad)
+        assert np.array_equal(b1.grad, b2.grad)
+
+    def test_three_groups_finite_with_gradients(self):
+        rng = np.random.default_rng(1)
+        groups = [Tensor(rng.standard_normal((n, 5)) + shift,
+                         requires_grad=True)
+                  for n, shift in ((6, 0.0), (8, 1.0), (5, -1.0))]
+        loss = node_contrastive_loss_multi(groups)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        for g in groups:
+            assert g.grad is not None and np.abs(g.grad).sum() > 0
+
+    def test_needs_two_groups(self):
+        a = Tensor(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            node_contrastive_loss_multi((a,))
+
+
+class TestCMDMulti:
+    def test_two_groups_bitwise_equal_to_pair_form(self):
+        a1, b1 = _pair(2)
+        a2, b2 = _pair(2)
+        pair = cmd_loss(a1, b1, max_order=4)
+        multi = cmd_loss_multi((a2, b2), max_order=4)
+        assert np.array_equal(pair.data, multi.data)
+        pair.backward()
+        multi.backward()
+        assert np.array_equal(a1.grad, a2.grad)
+        assert np.array_equal(b1.grad, b2.grad)
+
+    def test_vs_target_sums_pairwise_to_last_group(self):
+        rng = np.random.default_rng(3)
+        groups = [Tensor(np.tanh(rng.standard_normal((20, 3)) + s))
+                  for s in (0.0, 0.8, -0.8)]
+        multi = cmd_loss_multi(groups, max_order=3).item()
+        by_hand = sum(
+            cmd_loss(g, groups[-1], max_order=3).item()
+            for g in groups[:-1]
+        )
+        assert multi == pytest.approx(by_hand, rel=1e-9)
+
+    def test_pairwise_mode_differs_and_is_larger_family(self):
+        rng = np.random.default_rng(4)
+        groups = [Tensor(np.tanh(rng.standard_normal((20, 3)) + s))
+                  for s in (0.0, 0.8, -0.8)]
+        vs_target = cmd_loss_multi(groups, mode="vs-target").item()
+        pairwise = cmd_loss_multi(groups, mode="pairwise").item()
+        assert vs_target != pairwise
+        # Pairwise covers a superset of pairs, so it cannot be smaller.
+        assert pairwise >= vs_target
+
+    def test_gradients_flow_in_both_modes(self):
+        for mode in ("vs-target", "pairwise"):
+            rng = np.random.default_rng(5)
+            groups = [Tensor(np.tanh(rng.standard_normal((15, 3)) + s),
+                             requires_grad=True)
+                      for s in (0.0, 0.5, 1.0)]
+            cmd_loss_multi(groups, mode=mode).backward()
+            for g in groups:
+                assert g.grad is not None, mode
+                assert np.abs(g.grad).sum() > 0, mode
+
+    def test_invalid_mode_rejected(self):
+        a = Tensor(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            cmd_loss_multi((a, a), mode="nonsense")

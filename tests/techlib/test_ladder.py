@@ -1,0 +1,139 @@
+"""Tests for the parameterized node ladder."""
+
+import numpy as np
+import pytest
+
+from repro.techlib import (
+    NodeLadder,
+    label_to_nm,
+    library_digest,
+    make_asap7_library,
+    make_sky130_library,
+    merged_cell_vocabulary,
+    node_label,
+)
+
+
+class TestLabels:
+    def test_anchor_labels_match_legacy_node_strings(self):
+        assert node_label(130.0) == "130nm"
+        assert node_label(7.0) == "7nm"
+
+    def test_fractional_sizes_are_collision_free(self):
+        assert node_label(45.2) != node_label(45.7)
+        assert node_label(45.2) == "45p2nm"
+
+    def test_label_roundtrip(self):
+        for nm in (130.0, 45.0, 45.2, 28.0, 7.0):
+            assert label_to_nm(node_label(nm)) == nm
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError):
+            label_to_nm("not-a-node")
+
+
+class TestConstruction:
+    def test_sorted_descending_sources_first(self):
+        ladder = NodeLadder(node_nms=(7.0, 130.0, 45.0))
+        assert ladder.node_labels == ["130nm", "45nm", "7nm"]
+        assert ladder.source_labels == ["130nm", "45nm"]
+        assert ladder.target_label == "7nm"
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            NodeLadder(node_nms=(45.0,))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            NodeLadder(node_nms=(45.0, 45.0, 7.0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            NodeLadder(node_nms=(180.0, 7.0))
+        with pytest.raises(ValueError):
+            NodeLadder(node_nms=(130.0, 3.0))
+
+    def test_spec_roundtrip(self):
+        ladder = NodeLadder(node_nms=(130.0, 28.0, 7.0),
+                            perturb_gate_mix=True, seed=3)
+        rebuilt = NodeLadder.from_spec(ladder.spec)
+        assert rebuilt == ladder
+        assert rebuilt.digests() == ladder.digests()
+
+
+class TestLibraries:
+    def test_anchor_libraries_are_verbatim(self):
+        """[130, 7] ladder == the paper's two-node setting, exactly."""
+        ladder = NodeLadder(node_nms=(130.0, 7.0))
+        libs = ladder.libraries()
+        assert library_digest(libs["130nm"]) == \
+            library_digest(make_sky130_library())
+        assert library_digest(libs["7nm"]) == \
+            library_digest(make_asap7_library())
+
+    def test_cell_names_disjoint_across_nodes(self):
+        """Regression for the scale_library rename no-op: every node of
+        a chain must contribute its own cell names to the merged
+        vocabulary — no cross-node aliasing."""
+        ladder = NodeLadder(node_nms=(130.0, 45.0, 28.0, 7.0))
+        libs = ladder.libraries()
+        names = {label: set(lib.cells) for label, lib in libs.items()}
+        labels = list(names)
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                assert not (names[a] & names[b]), (a, b)
+        vocab = merged_cell_vocabulary(libs.values())
+        assert len(vocab) == sum(len(s) for s in names.values())
+        assert ladder.vocabulary() == vocab
+
+    def test_delay_monotone_down_the_chain(self):
+        ladder = NodeLadder(node_nms=(130.0, 90.0, 45.0, 14.0, 7.0))
+
+        def inv_delay(lib):
+            return float(
+                lib.pick("INV", 1.0).arcs[0].delay.values.mean())
+
+        delays = [inv_delay(lib) for lib in ladder.libraries().values()]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_describe_lists_every_node_in_order(self):
+        ladder = NodeLadder(node_nms=(130.0, 45.0, 7.0))
+        records = ladder.describe()
+        assert [r["label"] for r in records] == ["130nm", "45nm", "7nm"]
+        assert [r["nm"] for r in records] == [130.0, 45.0, 7.0]
+        digests = ladder.digests()
+        for record in records:
+            assert record["digest"] == digests[record["label"]]
+            assert record["num_cells"] > 0
+
+
+class TestGateMixPerturbation:
+    def test_deterministic_per_seed(self):
+        a = NodeLadder(node_nms=(130.0, 45.0, 7.0),
+                       perturb_gate_mix=True, seed=1)
+        b = NodeLadder(node_nms=(130.0, 45.0, 7.0),
+                       perturb_gate_mix=True, seed=1)
+        assert a.digests() == b.digests()
+
+    def test_seed_changes_interpolated_nodes_only(self):
+        plain = NodeLadder(node_nms=(130.0, 45.0, 7.0))
+        jittered = NodeLadder(node_nms=(130.0, 45.0, 7.0),
+                              perturb_gate_mix=True, seed=1)
+        assert plain.digests()["130nm"] == jittered.digests()["130nm"]
+        assert plain.digests()["7nm"] == jittered.digests()["7nm"]
+        # 45nm loses some functions, so its content digest moves.
+        assert plain.digests()["45nm"] != jittered.digests()["45nm"]
+
+    def test_protected_functions_survive(self):
+        ladder = NodeLadder(node_nms=(130.0, 45.0, 28.0, 14.0, 7.0),
+                            perturb_gate_mix=True, seed=0)
+        for lib in ladder.libraries().values():
+            for fn in ("INV", "BUF", "NAND2", "NOR2", "DFF"):
+                assert fn in lib.functions, (lib.name, fn)
+
+    def test_perturbed_chain_digests_differ_across_seeds(self):
+        d0 = NodeLadder(node_nms=(130.0, 45.0, 7.0),
+                        perturb_gate_mix=True, seed=0).digests()
+        d1 = NodeLadder(node_nms=(130.0, 45.0, 7.0),
+                        perturb_gate_mix=True, seed=1).digests()
+        assert d0["45nm"] != d1["45nm"]

@@ -42,12 +42,52 @@ class TestScaleLibrary:
         assert dff.clk_to_q == pytest.approx(0.2 * ref.clk_to_q)
 
 
+    def test_cells_actually_renamed(self):
+        """Regression: the rename used the library *name* prefix, which
+        never matched the ``sky_`` cell prefix, so derived cells kept
+        the anchor's names and aliased them in the merged vocabulary."""
+        sky = make_sky130_library()
+        derived = scale_library(sky, "synth45", 45.0, 0.7, 0.7, 0.7)
+        assert not (set(derived.cells) & set(sky.cells))
+        assert all(name.startswith("synth45_") for name in derived.cells)
+        # Function/drive lookup still works under the new names.
+        assert derived.pick("INV", 1.0).name == "synth45_inv_x1"
+
+    def test_alias_prefix_rejected(self):
+        sky = make_sky130_library()
+        with pytest.raises(ValueError, match="alias"):
+            scale_library(sky, "sky_fast", 65.0, 0.5, 1.0, 1.0)
+
+    def test_explicit_cell_prefix_wins(self):
+        sky = make_sky130_library()
+        derived = scale_library(sky, "whatever", 65.0, 0.5, 1.0, 1.0,
+                                cell_prefix="mid")
+        assert all(name.startswith("mid_") for name in derived.cells)
+
+
 class TestInterpolatedNode:
     def test_range_enforced(self):
         with pytest.raises(ValueError):
             make_interpolated_node(3.0)
         with pytest.raises(ValueError):
             make_interpolated_node(180.0)
+
+    def test_anchor_sizes_rejected(self):
+        """The open interval (7, 130): a synthetic anchor would silently
+        duplicate the real library under a different name."""
+        with pytest.raises(ValueError):
+            make_interpolated_node(130.0)
+        with pytest.raises(ValueError):
+            make_interpolated_node(7.0)
+
+    def test_fractional_sizes_get_distinct_names(self):
+        """Regression: ``f"synth{nm:.0f}"`` truncated 45.2 and 45.7 to
+        the same ``synth45`` name (and identical cell prefixes)."""
+        a = make_interpolated_node(45.2)
+        b = make_interpolated_node(45.7)
+        assert a.name != b.name
+        assert a.name == "synth45p2"
+        assert not (set(a.cells) & set(b.cells))
 
     def test_intermediate_node_sits_between_anchors(self):
         from repro.techlib import make_asap7_library

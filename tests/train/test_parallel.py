@@ -251,7 +251,8 @@ class TestCheckpointing:
         finally:
             trainer.shutdown()
         ckpt = load_checkpoint(path)
-        assert ckpt.extra == {"workers": 2}
+        assert ckpt.extra["workers"] == 2
+        assert ckpt.extra["nodes"] == ["130nm", "7nm"]
 
     def test_single_process_checkpoint_has_empty_extra(self, designs,
                                                        in_features,
@@ -260,7 +261,10 @@ class TestCheckpointing:
         path = tmp_path / "ckpt.npz"
         trainer.step(warmup=True)
         trainer.save_checkpoint(step=1, path=path)
-        assert load_checkpoint(path).extra == {}
+        extra = load_checkpoint(path).extra
+        assert "workers" not in extra
+        assert extra["nodes"] == ["130nm", "7nm"]
+        assert extra["target_node"] == "7nm"
 
     def test_kill_and_resume_reproduces_loss_stream(self, designs,
                                                     in_features,
